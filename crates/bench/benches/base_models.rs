@@ -1,0 +1,77 @@
+//! Benchmarks for representative base-model families: fit cost and
+//! one-step prediction cost. These dominate the end-to-end online loop
+//! (see the Table III discussion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eadrl_datasets::{generate, DatasetId};
+use eadrl_models::{
+    auto_regressive, decision_tree, gaussian_process, gradient_boosting, lstm_forecaster,
+    mlp_forecaster, random_forest, Arima, Ets, EtsKind, Forecaster,
+};
+use std::hint::black_box;
+
+fn models() -> Vec<(&'static str, Box<dyn Forecaster>)> {
+    vec![
+        (
+            "arima_2_1_1",
+            Box::new(Arima::new(2, 1, 1)) as Box<dyn Forecaster>,
+        ),
+        (
+            "ets_holt_winters",
+            Box::new(Ets::new(EtsKind::HoltWinters { period: 24 })),
+        ),
+        ("ar_ridge", Box::new(auto_regressive(5, 1e-3))),
+        ("decision_tree_d6", Box::new(decision_tree(5, 6, 3))),
+        ("random_forest_15x6", Box::new(random_forest(5, 15, 6, 42))),
+        ("gbm_60x2", Box::new(gradient_boosting(5, 60, 2, 0.1))),
+        (
+            "gp_subset150",
+            Box::new(gaussian_process(5, 1.0, 1e-2, 150)),
+        ),
+        ("mlp_h16", Box::new(mlp_forecaster(5, vec![16], 40, 42))),
+        ("lstm_h8", Box::new(lstm_forecaster(5, 8, 30, 42))),
+    ]
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let series = generate(DatasetId::BikeRentals, 480, 42);
+    let train = &series.values()[..270];
+    let mut group = c.benchmark_group("model_fit");
+    group.sample_size(10);
+    for (name, model) in models() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || model.box_clone(),
+                |mut m| {
+                    m.fit(black_box(train)).unwrap();
+                    black_box(m.name().len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let series = generate(DatasetId::BikeRentals, 480, 42);
+    let train = &series.values()[..360];
+    let mut group = c.benchmark_group("model_predict_next");
+    for (name, mut model) in models() {
+        model.fit(&train[..270]).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.predict_next(black_box(train))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_fit, bench_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Regenerates **Table II**: pairwise Bayesian-correlated-t-test
+//! comparison between EA-DRL and every baseline over the 20 datasets,
+//! plus the average-rank distribution (ω = 10).
+//!
+//! ```text
+//! cargo run -p eadrl-bench --release --bin table2 [-- --quick]
+//! ```
+
+use eadrl_bench::{evaluate_all, Scale};
+use eadrl_eval::{
+    average_ranks, friedman_test, nemenyi_critical_difference, pairwise_table, render_table,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!(
+        "Running Table II sweep ({} datasets, pool = {}, episodes = {})...",
+        20,
+        if scale.quick_pool {
+            "quick(8)"
+        } else {
+            "standard(43)"
+        },
+        scale.episodes
+    );
+    let evals = evaluate_all(scale);
+
+    // Collect per-method predictions across datasets.
+    let method_names: Vec<String> = evals[0].results.iter().map(|r| r.name.clone()).collect();
+    let actuals: Vec<Vec<f64>> = evals.iter().map(|e| e.test_actuals.clone()).collect();
+    let preds_of = |name: &str| -> Vec<Vec<f64>> {
+        evals
+            .iter()
+            .map(|e| {
+                e.result(name)
+                    .expect("method in every eval")
+                    .predictions
+                    .clone()
+            })
+            .collect()
+    };
+    let reference = preds_of("EA-DRL");
+    let baselines: Vec<(String, Vec<Vec<f64>>)> = method_names
+        .iter()
+        .filter(|n| n.as_str() != "EA-DRL")
+        .map(|n| (n.clone(), preds_of(n)))
+        .collect();
+
+    // Rank distribution over all 16 methods.
+    let scores: Vec<Vec<f64>> = evals
+        .iter()
+        .map(|e| {
+            method_names
+                .iter()
+                .map(|n| e.result(n).expect("method").rmse)
+                .collect()
+        })
+        .collect();
+    let ranks = average_ranks(&method_names, &scores);
+    let rank_of = |name: &str| ranks.iter().find(|r| r.name == name).expect("ranked");
+
+    // Pairwise wins/losses from EA-DRL's perspective. rho ≈ 1/n_test for
+    // rolling-origin evaluation.
+    let rho = 1.0 / actuals[0].len().max(2) as f64;
+    let rows = pairwise_table(&actuals, &reference, &baselines, rho, 0.95);
+
+    let mut table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let r = rank_of(&row.method);
+            vec![
+                row.method.clone(),
+                format!("{}({})", row.losses, row.significant_losses),
+                format!("{}({})", row.wins, row.significant_wins),
+                format!("{:.2} ± {:.1}", r.mean, r.std),
+            ]
+        })
+        .collect();
+    let ea = rank_of("EA-DRL");
+    table_rows.push(vec![
+        "EA-DRL".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.2} ± {:.1}", ea.mean, ea.std),
+    ]);
+
+    println!(
+        "\nTable II - pairwise comparison between EA-DRL and baseline methods\naveraged over all 20 datasets (omega = 10). Looses/Wins are from\nEA-DRL's perspective; parentheses = significant at 95% posterior.\n"
+    );
+    println!(
+        "{}",
+        render_table(&["Method", "Looses", "Wins", "Avg. Rank"], &table_rows)
+    );
+
+    // Friedman test over the full method × dataset rank matrix (the
+    // frequentist companion analysis; Demšar 2006, the paper's [43]).
+    if let Some(fr) = friedman_test(&scores) {
+        println!(
+            "\nFriedman test: chi2 = {:.2}, Iman-Davenport F = {:.2}, p = {:.2e} ({})",
+            fr.chi_square,
+            fr.f_statistic,
+            fr.p_value,
+            if fr.rejects_at(0.05) {
+                "methods differ significantly"
+            } else {
+                "no significant differences"
+            }
+        );
+        if let Some(cd) = nemenyi_critical_difference(method_names.len(), evals.len()) {
+            println!("Nemenyi critical difference (alpha = 0.05): {cd:.2} average-rank units");
+        }
+    }
+
+    // Machine-readable results for external plotting.
+    let csv_path = std::path::Path::new("target").join("table2_results.csv");
+    if let Ok(mut f) = std::fs::File::create(&csv_path) {
+        use std::io::Write;
+        let _ = writeln!(f, "dataset,{}", method_names.join(","));
+        for (e, row) in evals.iter().zip(scores.iter()) {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            let _ = writeln!(f, "{},{}", e.dataset.replace(',', "_"), cells.join(","));
+        }
+        eprintln!("per-dataset RMSE matrix written to {}", csv_path.display());
+    }
+
+    // Per-dataset RMSE appendix (not in the paper's table, but useful).
+    println!("\nPer-dataset test RMSE:");
+    let mut detail: Vec<Vec<String>> = Vec::new();
+    for e in &evals {
+        let best = e.ranking()[0].to_string();
+        detail.push(vec![
+            e.dataset.clone(),
+            format!("{:.4}", e.result("EA-DRL").unwrap().rmse),
+            format!("{:.4}", e.result("DEMSC").unwrap().rmse),
+            format!("{:.4}", e.result("SE").unwrap().rmse),
+            best,
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Dataset", "EA-DRL", "DEMSC", "SE", "Best method"],
+            &detail
+        )
+    );
+}

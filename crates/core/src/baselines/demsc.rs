@@ -1,0 +1,393 @@
+//! Dynamic ensemble-member selection: Top.sel, Clus and the drift-aware
+//! DEMSC (Saadallah, Priebe & Morik, ECML-PKDD 2019).
+
+use crate::combiner::{inverse_error_weights, Combiner, SlidingErrorWindow};
+use eadrl_timeseries::drift::PageHinkley;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Spreads SWE weights over a selected subset of models (zero elsewhere).
+fn subset_swe_weights(errors: &[f64], selected: &[usize], m: usize) -> Vec<f64> {
+    if selected.is_empty() {
+        return vec![1.0 / m.max(1) as f64; m];
+    }
+    let sub_errors: Vec<f64> = selected.iter().map(|&i| errors[i]).collect();
+    let sub_w = inverse_error_weights(&sub_errors);
+    let mut w = vec![0.0; m];
+    for (&i, &wi) in selected.iter().zip(sub_w.iter()) {
+        w[i] = wi;
+    }
+    w
+}
+
+/// Indices of the `count` models with the lowest error.
+fn top_indices(errors: &[f64], count: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..errors.len()).collect();
+    idx.sort_by(|&a, &b| {
+        errors[a]
+            .partial_cmp(&errors[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(count.max(1));
+    idx
+}
+
+/// **Top.sel** — selects the best-performing fraction of base models over a
+/// sliding window and combines them with SWE.
+#[derive(Debug, Clone)]
+pub struct TopSel {
+    window: SlidingErrorWindow,
+    fraction: f64,
+}
+
+impl TopSel {
+    /// Creates a Top.sel combiner keeping `fraction ∈ (0, 1]` of the pool.
+    pub fn new(window: usize, fraction: f64) -> Self {
+        TopSel {
+            window: SlidingErrorWindow::new(window),
+            fraction: fraction.clamp(0.01, 1.0),
+        }
+    }
+}
+
+impl Combiner for TopSel {
+    fn name(&self) -> &str {
+        "Top.sel"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.window.push(p.clone(), a);
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        match self.window.model_rmse(m) {
+            Some(errors) => {
+                let count = ((m as f64 * self.fraction).ceil() as usize).clamp(1, m);
+                let selected = top_indices(&errors, count);
+                subset_swe_weights(&errors, &selected, m)
+            }
+            None => vec![1.0 / m.max(1) as f64; m],
+        }
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.window.push(preds.to_vec(), actual);
+    }
+}
+
+/// Correlation distance between two prediction tracks
+/// (`1 - Pearson correlation`, 1.0 when degenerate).
+fn correlation_distance(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return 1.0;
+    }
+    let ma = a[..n].iter().sum::<f64>() / n as f64;
+    let mb = b[..n].iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va < 1e-12 || vb < 1e-12 {
+        return 1.0;
+    }
+    1.0 - cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Clusters model prediction tracks with farthest-point seeding followed by
+/// nearest-seed assignment; returns one representative (lowest error) per
+/// cluster.
+fn cluster_representatives(
+    tracks: &[Vec<f64>],
+    errors: &[f64],
+    n_clusters: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let m = tracks.len();
+    let k = n_clusters.clamp(1, m);
+    // Farthest-point seeding from a random start.
+    let mut seeds = vec![rng.random_range(0..m)];
+    while seeds.len() < k {
+        let next = (0..m).filter(|i| !seeds.contains(i)).max_by(|&a, &b| {
+            let da: f64 = seeds
+                .iter()
+                .map(|&s| correlation_distance(&tracks[a], &tracks[s]))
+                .fold(f64::INFINITY, f64::min);
+            let db: f64 = seeds
+                .iter()
+                .map(|&s| correlation_distance(&tracks[b], &tracks[s]))
+                .fold(f64::INFINITY, f64::min);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        match next {
+            Some(i) => seeds.push(i),
+            None => break,
+        }
+    }
+    // Assign every model to the nearest seed.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); seeds.len()];
+    for i in 0..m {
+        let best = seeds
+            .iter()
+            .enumerate()
+            .min_by(|(_, &s1), (_, &s2)| {
+                let d1 = correlation_distance(&tracks[i], &tracks[s1]);
+                let d2 = correlation_distance(&tracks[i], &tracks[s2]);
+                d1.partial_cmp(&d2).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        clusters[best].push(i);
+    }
+    // Representative = most accurate member of each cluster.
+    clusters
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| {
+            c.into_iter()
+                .min_by(|&a, &b| {
+                    errors[a]
+                        .partial_cmp(&errors[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty cluster")
+        })
+        .collect()
+}
+
+/// **Clus** — groups similar models by the correlation of their recent
+/// prediction tracks and keeps only cluster representatives, combined with
+/// SWE (diversity-enhancing selection).
+#[derive(Debug, Clone)]
+pub struct Clus {
+    window: SlidingErrorWindow,
+    n_clusters: usize,
+    seed: u64,
+}
+
+impl Clus {
+    /// Creates a Clus combiner with `n_clusters` clusters.
+    pub fn new(window: usize, n_clusters: usize, seed: u64) -> Self {
+        Clus {
+            window: SlidingErrorWindow::new(window),
+            n_clusters: n_clusters.max(1),
+            seed,
+        }
+    }
+}
+
+impl Combiner for Clus {
+    fn name(&self) -> &str {
+        "Clus"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.window.push(p.clone(), a);
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        let Some(errors) = self.window.model_rmse(m) else {
+            return vec![1.0 / m.max(1) as f64; m];
+        };
+        if self.window.len() < 3 {
+            return vec![1.0 / m.max(1) as f64; m];
+        }
+        let tracks: Vec<Vec<f64>> = (0..m).map(|i| self.window.model_track(i)).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let reps = cluster_representatives(&tracks, &errors, self.n_clusters, &mut rng);
+        subset_swe_weights(&errors, &reps, m)
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.window.push(preds.to_vec(), actual);
+    }
+}
+
+/// **DEMSC** — drift-aware dynamic ensemble-member selection: Top.sel
+/// pruning followed by Clus diversity enhancement produces a committee that
+/// is combined with SWE. The committee is only re-computed when a
+/// Page–Hinkley test on the ensemble's absolute error signals concept
+/// drift — the "informed update" that makes DEMSC's online phase more
+/// expensive than EA-DRL's (Table III).
+#[derive(Debug, Clone)]
+pub struct Demsc {
+    window: SlidingErrorWindow,
+    fraction: f64,
+    n_clusters: usize,
+    seed: u64,
+    detector: PageHinkley,
+    committee: Vec<usize>,
+    /// Number of committee re-selections performed (drift count + 1).
+    reselections: usize,
+}
+
+impl Demsc {
+    /// Creates a DEMSC combiner: keep `fraction` of the pool, cluster the
+    /// survivors into `n_clusters` groups.
+    pub fn new(window: usize, fraction: f64, n_clusters: usize, seed: u64) -> Self {
+        Demsc {
+            window: SlidingErrorWindow::new(window),
+            fraction: fraction.clamp(0.01, 1.0),
+            n_clusters: n_clusters.max(1),
+            seed,
+            detector: PageHinkley::new(0.05, 8.0),
+            committee: Vec::new(),
+            reselections: 0,
+        }
+    }
+
+    /// How many times the committee has been (re-)selected.
+    pub fn reselections(&self) -> usize {
+        self.reselections
+    }
+
+    fn reselect(&mut self, m: usize) {
+        let Some(errors) = self.window.model_rmse(m) else {
+            return;
+        };
+        // Stage 1 — Top.sel pruning.
+        let count = ((m as f64 * self.fraction).ceil() as usize).clamp(1, m);
+        let top = top_indices(&errors, count);
+        // Stage 2 — Clus diversity enhancement among the survivors.
+        let tracks: Vec<Vec<f64>> = top.iter().map(|&i| self.window.model_track(i)).collect();
+        let sub_errors: Vec<f64> = top.iter().map(|&i| errors[i]).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.reselections as u64));
+        let reps_local = cluster_representatives(&tracks, &sub_errors, self.n_clusters, &mut rng);
+        self.committee = reps_local.into_iter().map(|local| top[local]).collect();
+        self.reselections += 1;
+    }
+}
+
+impl Combiner for Demsc {
+    fn name(&self) -> &str {
+        "DEMSC"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.window.push(p.clone(), a);
+        }
+        if let Some(first) = preds.first() {
+            self.reselect(first.len());
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        if self.committee.is_empty() {
+            self.reselect(m);
+        }
+        match self.window.model_rmse(m) {
+            Some(errors) if !self.committee.is_empty() => {
+                subset_swe_weights(&errors, &self.committee.clone(), m)
+            }
+            _ => vec![1.0 / m.max(1) as f64; m],
+        }
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        let m = preds.len();
+        // Ensemble error with the current committee, fed to the detector.
+        let w = self.weights(m);
+        let forecast: f64 = w.iter().zip(preds.iter()).map(|(w, p)| w * p).sum();
+        self.window.push(preds.to_vec(), actual);
+        if self.detector.update((forecast - actual).abs()) {
+            self.reselect(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four models: 0 accurate, 1 accurate-but-correlated-with-0, 2
+    /// mediocre, 3 terrible.
+    fn feed(c: &mut dyn Combiner, steps: usize) {
+        for t in 0..steps {
+            let y = (t as f64 / 5.0).sin();
+            c.observe(&[y + 0.05, y + 0.06, y + 0.5, y + 5.0], y);
+        }
+    }
+
+    #[test]
+    fn top_sel_zeroes_out_bad_models() {
+        let mut ts = TopSel::new(10, 0.5);
+        feed(&mut ts, 15);
+        let w = ts.weights(4);
+        assert_eq!(w.len(), 4);
+        assert!(w[3] == 0.0, "worst model must be pruned: {w:?}");
+        assert!(w[0] > 0.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_sel_uniform_without_history() {
+        let mut ts = TopSel::new(10, 0.5);
+        assert_eq!(ts.weights(4), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn clus_selects_representatives() {
+        let mut cl = Clus::new(12, 2, 7);
+        feed(&mut cl, 12);
+        let w = cl.weights(4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // With 2 clusters over 4 models, at most 2 get non-zero weight.
+        let nonzero = w.iter().filter(|&&x| x > 0.0).count();
+        assert!(nonzero <= 2, "w = {w:?}");
+    }
+
+    #[test]
+    fn correlation_distance_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0]; // perfectly correlated
+        let c = [4.0, 3.0, 2.0, 1.0]; // perfectly anti-correlated
+        assert!(correlation_distance(&a, &b) < 1e-9);
+        assert!((correlation_distance(&a, &c) - 2.0).abs() < 1e-9);
+        assert_eq!(correlation_distance(&a, &[1.0, 1.0, 1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn demsc_forms_committee_and_weights_sum_to_one() {
+        let mut d = Demsc::new(10, 0.5, 2, 3);
+        feed(&mut d, 20);
+        let w = d.weights(4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(d.reselections() >= 1);
+        // The terrible model never makes the committee.
+        assert_eq!(w[3], 0.0, "w = {w:?}");
+    }
+
+    #[test]
+    fn demsc_reselects_on_drift() {
+        let mut d = Demsc::new(10, 0.5, 2, 3);
+        // Stable phase: model 0 is great.
+        for t in 0..40 {
+            let y = t as f64 * 0.1;
+            d.observe(&[y + 0.01, y + 0.4, y + 0.5, y + 0.6], y);
+        }
+        let before = d.reselections();
+        // Drift: the committee's champion collapses, error jumps.
+        for t in 0..60 {
+            let y = t as f64 * 0.1;
+            d.observe(&[y + 12.0, y + 0.02, y + 0.5, y + 0.6], y);
+        }
+        assert!(
+            d.reselections() > before,
+            "drift did not trigger re-selection"
+        );
+        // And the weights follow the new champion.
+        let w = d.weights(4);
+        assert!(w[1] > w[0], "w = {w:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Baseline ensemble-combination methods from the paper's evaluation
+//! (§III, "State-of-the-art Methods").
+//!
+//! * [`simple`] — **SE** (static arithmetic-mean ensemble) and **SWE**
+//!   (sliding-window inverse-error weighting),
+//! * [`opera`] — the four online expert-aggregation rules of the `opera`
+//!   R package: **EWA**, **FS** (fixed share), **OGD** (online gradient
+//!   descent) and **MLPOL** (polynomially weighted averages with multiple
+//!   learning rates),
+//! * [`stacking`] — **Stacking** with a random-forest meta-learner,
+//! * [`demsc`] — the dynamic-selection family: **Top.sel**, **Clus** and
+//!   the drift-aware **DEMSC**.
+
+pub mod demsc;
+pub mod opera;
+pub mod simple;
+pub mod stacking;
+
+pub use demsc::{Clus, Demsc, TopSel};
+pub use opera::{Ewa, FixedShare, MlPol, Ogd};
+pub use simple::{SlidingWindowEnsemble, StaticEnsemble};
+pub use stacking::Stacking;
+
+use crate::combiner::Combiner;
+
+/// All baseline combiners with the paper's default settings, for a pool of
+/// `m` models and combination window `omega` (Table II uses ω = 10).
+pub fn all_baselines(omega: usize, seed: u64) -> Vec<Box<dyn Combiner>> {
+    vec![
+        Box::new(StaticEnsemble::new()),
+        Box::new(SlidingWindowEnsemble::new(omega)),
+        Box::new(Ewa::new(0.5)),
+        Box::new(FixedShare::new(0.5, 0.05)),
+        Box::new(Ogd::new(0.5)),
+        Box::new(MlPol::new()),
+        Box::new(Stacking::new(25, 8, seed)),
+        Box::new(Clus::new(omega, 4, seed)),
+        Box::new(TopSel::new(omega, 0.25)),
+        Box::new(Demsc::new(omega, 0.25, 4, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::run_combiner;
+    use eadrl_timeseries::metrics::rmse;
+
+    /// Synthetic scenario with a mid-stream regime switch: model 0 is good
+    /// in the first half, model 1 in the second, model 2 is always bad.
+    /// Adaptive combiners must beat the static ensemble here.
+    pub(crate) fn regime_switch_scenario() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let n = 240;
+        let actuals: Vec<f64> = (0..n)
+            .map(|t| (t as f64 / 9.0).sin() * 4.0 + 10.0)
+            .collect();
+        let preds: Vec<Vec<f64>> = actuals
+            .iter()
+            .enumerate()
+            .map(|(t, &a)| {
+                let wiggle = ((t * 7) % 13) as f64 / 13.0 - 0.5;
+                if t < n / 2 {
+                    vec![a + 0.1 * wiggle, a + 3.0 + wiggle, a - 8.0]
+                } else {
+                    vec![a + 3.0 - wiggle, a + 0.1 * wiggle, a - 8.0]
+                }
+            })
+            .collect();
+        (preds, actuals)
+    }
+
+    #[test]
+    fn all_baselines_run_and_are_finite() {
+        let (preds, actuals) = regime_switch_scenario();
+        let (warm_p, online_p) = preds.split_at(60);
+        let (warm_a, online_a) = actuals.split_at(60);
+        for mut combiner in all_baselines(10, 3) {
+            combiner.warm_up(warm_p, warm_a);
+            let out = run_combiner(combiner.as_mut(), online_p, online_a);
+            assert_eq!(out.len(), online_a.len());
+            assert!(
+                out.iter().all(|v| v.is_finite()),
+                "{} produced non-finite forecasts",
+                combiner.name()
+            );
+            let err = rmse(online_a, &out);
+            assert!(
+                err < 8.0,
+                "{} rmse {err} worse than the uniformly-bad model",
+                combiner.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_methods_beat_static_on_regime_switch() {
+        let (preds, actuals) = regime_switch_scenario();
+        let (warm_p, online_p) = preds.split_at(60);
+        let (warm_a, online_a) = actuals.split_at(60);
+        let score = |mut c: Box<dyn Combiner>| {
+            c.warm_up(warm_p, warm_a);
+            let out = run_combiner(c.as_mut(), online_p, online_a);
+            rmse(online_a, &out)
+        };
+        let static_err = score(Box::new(StaticEnsemble::new()));
+        let swe_err = score(Box::new(SlidingWindowEnsemble::new(10)));
+        let fs_err = score(Box::new(FixedShare::new(0.5, 0.05)));
+        assert!(swe_err < static_err, "SWE {swe_err} vs SE {static_err}");
+        // Fixed share exists precisely to track the best expert across
+        // regime switches (ML-Poly, by contrast, can legitimately be slow
+        // here: its incumbent carries a large positive-regret buffer).
+        assert!(fs_err < static_err, "FS {fs_err} vs SE {static_err}");
+    }
+
+    #[test]
+    fn baseline_names_match_paper_labels() {
+        let names: Vec<String> = all_baselines(10, 0)
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
+        for expect in [
+            "SE", "SWE", "EWA", "FS", "OGD", "MLPOL", "Stacking", "Clus", "Top.sel", "DEMSC",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Online expert-aggregation rules ported from the `opera` R package
+//! (Gaillard & Goude): EWA, fixed share, online gradient descent and
+//! ML-Poly. All use the squared loss of each expert's point forecast.
+
+use crate::combiner::Combiner;
+
+fn uniform(m: usize) -> Vec<f64> {
+    vec![1.0 / m.max(1) as f64; m]
+}
+
+fn squared_losses(preds: &[f64], actual: f64) -> Vec<f64> {
+    preds.iter().map(|p| (p - actual) * (p - actual)).collect()
+}
+
+/// **EWA** — exponentially weighted average forecaster:
+/// `w_i ∝ w_i · exp(-η ℓ_i / B)`, with `B` a running estimate of the loss
+/// range so the learning rate is scale-free.
+#[derive(Debug, Clone)]
+pub struct Ewa {
+    eta: f64,
+    weights: Vec<f64>,
+    loss_scale: f64,
+}
+
+impl Ewa {
+    /// Creates an EWA aggregator with learning rate `eta`.
+    pub fn new(eta: f64) -> Self {
+        Ewa {
+            eta: eta.max(1e-6),
+            weights: Vec::new(),
+            loss_scale: 1e-12,
+        }
+    }
+
+    fn step(&mut self, preds: &[f64], actual: f64) {
+        let m = preds.len();
+        if self.weights.len() != m {
+            self.weights = uniform(m);
+        }
+        let losses = squared_losses(preds, actual);
+        for &l in &losses {
+            self.loss_scale = self.loss_scale.max(l);
+        }
+        let scale = self.loss_scale.max(1e-12);
+        for (w, &l) in self.weights.iter_mut().zip(losses.iter()) {
+            *w *= (-self.eta * l / scale).exp();
+        }
+        let sum: f64 = self.weights.iter().sum();
+        if sum > 0.0 && sum.is_finite() {
+            for w in self.weights.iter_mut() {
+                *w /= sum;
+            }
+        } else {
+            self.weights = uniform(m);
+        }
+    }
+}
+
+impl Combiner for Ewa {
+    fn name(&self) -> &str {
+        "EWA"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.step(p, a);
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        if self.weights.len() != m {
+            self.weights = uniform(m);
+        }
+        self.weights.clone()
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.step(preds, actual);
+    }
+}
+
+/// **FS** — the fixed-share forecaster (Herbster & Warmuth): an EWA update
+/// followed by mixing a share `alpha` of the mass uniformly, which lets the
+/// aggregator track the best expert across regime changes.
+#[derive(Debug, Clone)]
+pub struct FixedShare {
+    ewa: Ewa,
+    alpha: f64,
+}
+
+impl FixedShare {
+    /// Creates a fixed-share aggregator with EWA rate `eta` and share
+    /// `alpha ∈ [0, 1]`.
+    pub fn new(eta: f64, alpha: f64) -> Self {
+        FixedShare {
+            ewa: Ewa::new(eta),
+            alpha: alpha.clamp(0.0, 1.0),
+        }
+    }
+
+    fn share(&mut self) {
+        let m = self.ewa.weights.len();
+        if m == 0 {
+            return;
+        }
+        let u = self.alpha / m as f64;
+        for w in self.ewa.weights.iter_mut() {
+            *w = (1.0 - self.alpha) * *w + u;
+        }
+    }
+}
+
+impl Combiner for FixedShare {
+    fn name(&self) -> &str {
+        "FS"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.ewa.step(p, a);
+            self.share();
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        self.ewa.weights(m)
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.ewa.step(preds, actual);
+        self.share();
+    }
+}
+
+/// **OGD** — online gradient descent on the simplex (Zinkevich): gradient
+/// step on the ensemble's squared loss followed by Euclidean projection
+/// back onto the simplex. Step size decays as `η / √t`, scaled by the
+/// running gradient magnitude so the method is loss-scale-free.
+#[derive(Debug, Clone)]
+pub struct Ogd {
+    eta: f64,
+    weights: Vec<f64>,
+    t: u64,
+    grad_scale: f64,
+}
+
+impl Ogd {
+    /// Creates an OGD aggregator with base step size `eta`.
+    pub fn new(eta: f64) -> Self {
+        Ogd {
+            eta: eta.max(1e-6),
+            weights: Vec::new(),
+            t: 0,
+            grad_scale: 1e-12,
+        }
+    }
+
+    fn step(&mut self, preds: &[f64], actual: f64) {
+        let m = preds.len();
+        if self.weights.len() != m {
+            self.weights = uniform(m);
+        }
+        self.t += 1;
+        let forecast: f64 = self
+            .weights
+            .iter()
+            .zip(preds.iter())
+            .map(|(w, p)| w * p)
+            .sum();
+        let grad: Vec<f64> = preds
+            .iter()
+            .map(|p| 2.0 * (forecast - actual) * p)
+            .collect();
+        let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        self.grad_scale = self.grad_scale.max(gnorm);
+        let step = self.eta / (self.grad_scale.max(1e-12) * (self.t as f64).sqrt());
+        for (w, g) in self.weights.iter_mut().zip(grad.iter()) {
+            *w -= step * g;
+        }
+        self.weights = project_simplex(&self.weights);
+    }
+}
+
+impl Combiner for Ogd {
+    fn name(&self) -> &str {
+        "OGD"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.step(p, a);
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        if self.weights.len() != m {
+            self.weights = uniform(m);
+        }
+        self.weights.clone()
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.step(preds, actual);
+    }
+}
+
+/// Euclidean projection onto the probability simplex (Duchi et al. 2008).
+pub fn project_simplex(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut u = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let candidate = (css - 1.0) / (i + 1) as f64;
+        if ui - candidate > 0.0 {
+            rho = i + 1;
+            theta = candidate;
+        }
+    }
+    if rho == 0 {
+        // All mass projects to a single vertex-adjacent case; fall back to
+        // uniform (can only happen with pathological inputs).
+        return uniform(n);
+    }
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// **MLPOL** — ML-Poly (Gaillard, Stoltz & van Erven): polynomially
+/// weighted averages with one adaptive learning rate per expert. Weights
+/// are proportional to `η_i · (R_i)₊`, where `R_i` is expert i's cumulative
+/// regret against the aggregated forecast and `η_i = 1 / (1 + Σ r_i²)`.
+#[derive(Debug, Clone, Default)]
+pub struct MlPol {
+    regret: Vec<f64>,
+    sq_regret: Vec<f64>,
+}
+
+impl MlPol {
+    /// Creates an ML-Poly aggregator.
+    pub fn new() -> Self {
+        MlPol::default()
+    }
+
+    fn current_weights(&self, m: usize) -> Vec<f64> {
+        if self.regret.len() != m {
+            return uniform(m);
+        }
+        let scores: Vec<f64> = self
+            .regret
+            .iter()
+            .zip(self.sq_regret.iter())
+            .map(|(&r, &s)| (1.0 / (1.0 + s)) * r.max(0.0))
+            .collect();
+        let sum: f64 = scores.iter().sum();
+        if sum > 0.0 && sum.is_finite() {
+            scores.into_iter().map(|x| x / sum).collect()
+        } else {
+            uniform(m)
+        }
+    }
+
+    fn step(&mut self, preds: &[f64], actual: f64) {
+        let m = preds.len();
+        if self.regret.len() != m {
+            self.regret = vec![0.0; m];
+            self.sq_regret = vec![0.0; m];
+        }
+        let w = self.current_weights(m);
+        let forecast: f64 = w.iter().zip(preds.iter()).map(|(w, p)| w * p).sum();
+        let ens_loss = (forecast - actual) * (forecast - actual);
+        for ((&p, regret), sq) in preds
+            .iter()
+            .zip(self.regret.iter_mut())
+            .zip(self.sq_regret.iter_mut())
+        {
+            let li = (p - actual) * (p - actual);
+            let r = ens_loss - li; // positive when the expert beat us
+            *regret += r;
+            *sq += r * r;
+        }
+    }
+}
+
+impl Combiner for MlPol {
+    fn name(&self) -> &str {
+        "MLPOL"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.step(p, a);
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        self.current_weights(m)
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.step(preds, actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feed `steps` rounds where expert 0 is perfect and expert 1 is off
+    /// by 2, then return the final weights.
+    fn drill(combiner: &mut dyn Combiner, steps: usize) -> Vec<f64> {
+        for _ in 0..steps {
+            combiner.observe(&[1.0, 3.0], 1.0);
+        }
+        combiner.weights(2)
+    }
+
+    #[test]
+    fn ewa_converges_to_best_expert() {
+        let w = drill(&mut Ewa::new(0.5), 60);
+        assert!(w[0] > 0.95, "w = {w:?}");
+    }
+
+    #[test]
+    fn fixed_share_keeps_minimum_mass_on_losers() {
+        let mut fs = FixedShare::new(0.5, 0.1);
+        let w = drill(&mut fs, 200);
+        assert!(w[0] > w[1]);
+        // The share guarantees every expert keeps at least α/m mass.
+        assert!(w[1] >= 0.05 - 1e-9, "w = {w:?}");
+    }
+
+    #[test]
+    fn fixed_share_recovers_faster_than_ewa_after_switch() {
+        let mut ewa = Ewa::new(0.5);
+        let mut fs = FixedShare::new(0.5, 0.1);
+        for c in [&mut ewa as &mut dyn Combiner, &mut fs as &mut dyn Combiner] {
+            for _ in 0..100 {
+                c.observe(&[1.0, 3.0], 1.0); // expert 0 wins
+            }
+            for _ in 0..5 {
+                c.observe(&[3.0, 1.0], 1.0); // regime flips
+            }
+        }
+        let we = ewa.weights(2);
+        let wf = fs.weights(2);
+        assert!(
+            wf[1] > we[1],
+            "fixed share should adapt faster: FS {wf:?} vs EWA {we:?}"
+        );
+    }
+
+    #[test]
+    fn ogd_converges_to_best_expert() {
+        let w = drill(&mut Ogd::new(1.0), 300);
+        assert!(w[0] > 0.8, "w = {w:?}");
+    }
+
+    #[test]
+    fn ogd_weights_stay_on_simplex() {
+        let mut ogd = Ogd::new(2.0);
+        for t in 0..50 {
+            ogd.observe(&[t as f64, -(t as f64), 5.0], 1.0);
+            let w = ogd.weights(3);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn mlpol_converges_to_best_expert() {
+        let w = drill(&mut MlPol::new(), 60);
+        assert!(w[0] > 0.95, "w = {w:?}");
+    }
+
+    #[test]
+    fn mlpol_uniform_when_no_positive_regret() {
+        let mut m = MlPol::new();
+        // A single expert: the ensemble equals it, so regret stays 0.
+        m.observe(&[2.0], 1.0);
+        assert_eq!(m.weights(1), vec![1.0]);
+        assert_eq!(MlPol::new().weights(3), vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn simplex_projection_properties() {
+        let p = project_simplex(&[0.5, 0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Already on the simplex: unchanged.
+        let q = project_simplex(&[0.2, 0.3, 0.5]);
+        for (a, b) in q.iter().zip([0.2, 0.3, 0.5].iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Dominant coordinate wins after projection of a spiky vector.
+        let r = project_simplex(&[10.0, 0.0, 0.0]);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert_eq!(project_simplex(&[]).len(), 0);
+    }
+
+    #[test]
+    fn warm_up_matches_observe_sequence() {
+        let preds = vec![vec![1.0, 3.0]; 30];
+        let actuals = vec![1.0; 30];
+        let mut a = Ewa::new(0.5);
+        a.warm_up(&preds, &actuals);
+        let mut b = Ewa::new(0.5);
+        for (p, &y) in preds.iter().zip(actuals.iter()) {
+            b.observe(p, y);
+        }
+        assert_eq!(a.weights(2), b.weights(2));
+    }
+}

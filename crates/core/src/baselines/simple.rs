@@ -1,0 +1,117 @@
+//! SE (static ensemble) and SWE (sliding-window weighted ensemble).
+
+use crate::combiner::{inverse_error_weights, Combiner, SlidingErrorWindow};
+
+/// **SE** — the static ensemble: plain arithmetic mean of all base models
+/// (Clemen & Winkler), the classical "forecast combination" baseline.
+#[derive(Debug, Clone, Default)]
+pub struct StaticEnsemble;
+
+impl StaticEnsemble {
+    /// Creates the static ensemble.
+    pub fn new() -> Self {
+        StaticEnsemble
+    }
+}
+
+impl Combiner for StaticEnsemble {
+    fn name(&self) -> &str {
+        "SE"
+    }
+
+    fn warm_up(&mut self, _preds: &[Vec<f64>], _actuals: &[f64]) {}
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        vec![1.0 / m.max(1) as f64; m]
+    }
+
+    fn observe(&mut self, _preds: &[f64], _actual: f64) {}
+}
+
+/// **SWE** — sliding-window weighted ensemble: weights proportional to the
+/// inverse RMSE of each base model over the last `window` observed steps
+/// (Saadallah et al., BRIGHT).
+#[derive(Debug, Clone)]
+pub struct SlidingWindowEnsemble {
+    window: SlidingErrorWindow,
+}
+
+impl SlidingWindowEnsemble {
+    /// Creates an SWE with the given sliding-window length.
+    pub fn new(window: usize) -> Self {
+        SlidingWindowEnsemble {
+            window: SlidingErrorWindow::new(window),
+        }
+    }
+}
+
+impl Combiner for SlidingWindowEnsemble {
+    fn name(&self) -> &str {
+        "SWE"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            self.window.push(p.clone(), a);
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        match self.window.model_rmse(m) {
+            Some(errors) => inverse_error_weights(&errors),
+            None => vec![1.0 / m.max(1) as f64; m],
+        }
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        self.window.push(preds.to_vec(), actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_ensemble_is_always_uniform() {
+        let mut se = StaticEnsemble::new();
+        assert_eq!(se.weights(4), vec![0.25; 4]);
+        se.observe(&[1.0, 100.0, -5.0, 0.0], 1.0);
+        assert_eq!(se.weights(4), vec![0.25; 4]);
+        assert_eq!(se.combine(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn swe_shifts_weight_to_recent_winner() {
+        let mut swe = SlidingWindowEnsemble::new(5);
+        // Model 0 perfect, model 1 off by 2.
+        for _ in 0..5 {
+            swe.observe(&[1.0, 3.0], 1.0);
+        }
+        let w = swe.weights(2);
+        assert!(w[0] > 0.9, "w = {w:?}");
+        // Regime flips: model 1 becomes perfect. After the window fills
+        // with the new regime, weights must follow.
+        for _ in 0..5 {
+            swe.observe(&[3.0, 1.0], 1.0);
+        }
+        let w2 = swe.weights(2);
+        assert!(w2[1] > 0.9, "w2 = {w2:?}");
+    }
+
+    #[test]
+    fn swe_without_history_is_uniform() {
+        let mut swe = SlidingWindowEnsemble::new(10);
+        assert_eq!(swe.weights(3), vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn swe_warm_up_seeds_the_window() {
+        let mut swe = SlidingWindowEnsemble::new(10);
+        let preds = vec![vec![1.0, 5.0]; 4];
+        let actuals = vec![1.0; 4];
+        swe.warm_up(&preds, &actuals);
+        let w = swe.weights(2);
+        assert!(w[0] > 0.9);
+    }
+}

@@ -1,0 +1,784 @@
+//! The EA-DRL model: offline policy learning, online forecasting
+//! (Algorithm 1 of the paper).
+
+use crate::combiner::Combiner;
+use crate::env::{normalize_window, EnsembleEnv, RewardKind};
+use crate::persist::PolicySnapshot;
+use eadrl_linalg::vector::dot;
+use eadrl_models::{rolling_forecast, Forecaster, ModelError};
+use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy};
+use serde::{Deserialize, Serialize};
+
+/// What advances the policy's state window online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnlineState {
+    /// The window advances with the ensemble's own outputs — identical to
+    /// the training-time MDP transition (§II-B), so the online state
+    /// distribution matches what the policy was trained on. Default.
+    EnsembleOutputs,
+    /// The window advances with realized values when available (§II-E's
+    /// "let state s be X^ω"), falling back to ensemble outputs in
+    /// recursive multi-step forecasting.
+    Observed,
+}
+
+/// Hyper-parameters of EA-DRL.
+///
+/// Defaults follow the paper's reported model selection: window ω = 10,
+/// discount γ = 0.9, learning rate α = 0.01, `max.ep` = `max.iter` = 100,
+/// rank reward (Eq. 3) and median-split diversity replay sampling (Eq. 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EaDrlConfig {
+    /// State window length ω.
+    pub omega: usize,
+    /// Training episodes (`max.ep`).
+    pub episodes: usize,
+    /// Maximum environment steps per episode (`max.iter`).
+    pub max_iter: usize,
+    /// Reward definition.
+    pub reward: RewardKind,
+    /// Fraction of the training series held out as the policy-learning
+    /// validation segment.
+    pub val_fraction: f64,
+    /// Independent training restarts; the actor with the best greedy
+    /// validation RMSE across all restarts is kept (the paper tunes
+    /// EA-DRL "by model selection" — this is that selection).
+    pub restarts: usize,
+    /// Informed actor initialization: start the policy at the
+    /// performance-based weighting `softmax(-T · e_i / min_j e_j)` over the
+    /// validation errors `e_i` (T = `init_temperature`), by setting the
+    /// actor's output bias. DDPG then refines the weighting and adds the
+    /// state dependence. Cold starts must otherwise discover a 43-way
+    /// concentrated weight vector from undirected noise — a needle-in-a-
+    /// haystack exploration problem on short validation segments.
+    pub informed_init: bool,
+    /// Sharpness of the informed initialization (higher = more mass on the
+    /// validation-best models).
+    pub init_temperature: f64,
+    /// Online state-window semantics.
+    pub online_state: OnlineState,
+    /// Optional pool pruning before policy learning — the paper's §III-B
+    /// future-work hook ("incorporate a pruning step into our framework,
+    /// so that only relevant models take part in the weighting"). When
+    /// set, only this fraction of the pool (the most accurate members on
+    /// the validation segment) takes part in the combination; the rest
+    /// are discarded after fitting.
+    pub prune_fraction: Option<f64>,
+    /// Greedy-rollout evaluation cadence (episodes) for checkpointing.
+    pub eval_every: usize,
+    /// Fraction of the validation segment held out from the training
+    /// environment and used *only* to score checkpoints. Selecting on data
+    /// the policy trained on promotes overfit checkpoints; this tail
+    /// measures generalization.
+    pub selection_holdout: f64,
+    /// Relative holdout-RMSE improvement a *trained* checkpoint must show
+    /// over the best static candidate to be deployed. Trained checkpoints
+    /// get many more selection attempts than the handful of static
+    /// candidates, so without a margin the winner's curse lets noisy
+    /// checkpoints displace robust static weightings.
+    pub selection_margin: f64,
+    /// Underlying DDPG configuration (γ, learning rates, sampling, nets).
+    pub ddpg: DdpgConfig,
+}
+
+impl Default for EaDrlConfig {
+    fn default() -> Self {
+        EaDrlConfig {
+            omega: 10,
+            episodes: 50,
+            max_iter: 100,
+            reward: RewardKind::Rank { normalize: true },
+            val_fraction: 0.25,
+            restarts: 2,
+            eval_every: 5,
+            selection_holdout: 0.4,
+            selection_margin: 0.08,
+            informed_init: true,
+            init_temperature: 8.0,
+            online_state: OnlineState::EnsembleOutputs,
+            prune_fraction: None,
+            ddpg: DdpgConfig {
+                gamma: 0.9,
+                actor_lr: 0.01,
+                critic_lr: 0.01,
+                tau: 0.01,
+                batch_size: 32,
+                buffer_capacity: 10_000,
+                sampling: SamplingStrategy::Diversity,
+                hidden: vec![32, 32],
+                squash: ActionSquash::Softmax,
+                noise_sigma: 0.3,
+                actor_logit_reg: 1e-3,
+                seed: 0,
+            },
+        }
+    }
+}
+
+/// The learned combination policy, usable as a [`Combiner`].
+///
+/// `warm_up` phrases the validation predictions as an [`EnsembleEnv`] and
+/// trains the DDPG agent offline; afterwards `weights` is a single actor
+/// forward pass — this is why the paper's online phase is cheap (Table III).
+pub struct EaDrlPolicy {
+    config: EaDrlConfig,
+    agent: Option<DdpgAgent>,
+    /// Unscaled window of recent ensemble outputs (state of §II-B).
+    window: Vec<f64>,
+    last_weights: Vec<f64>,
+    learning_curve: Vec<EpisodeStats>,
+}
+
+impl EaDrlPolicy {
+    /// Creates an untrained policy.
+    pub fn new(config: EaDrlConfig) -> Self {
+        EaDrlPolicy {
+            config,
+            agent: None,
+            window: Vec::new(),
+            last_weights: Vec::new(),
+            learning_curve: Vec::new(),
+        }
+    }
+
+    /// Per-episode average rewards from the offline training phase — the
+    /// learning curve plotted in the paper's Figure 2.
+    pub fn learning_curve(&self) -> &[EpisodeStats] {
+        &self.learning_curve
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EaDrlConfig {
+        &self.config
+    }
+
+    /// True once `warm_up` has trained the agent.
+    pub fn is_trained(&self) -> bool {
+        self.agent.is_some()
+    }
+
+    /// Captures the deployed actor for persistence; `None` before training.
+    pub fn snapshot(&mut self) -> Option<PolicySnapshot> {
+        let omega = self.config.omega;
+        let window = self.window.clone();
+        let agent = self.agent.as_mut()?;
+        Some(PolicySnapshot {
+            omega,
+            action_dim: agent.action_dim(),
+            hidden: agent.config().hidden.clone(),
+            squash: agent.config().squash,
+            params: agent.actor_params(),
+            window,
+        })
+    }
+
+    /// Rebuilds a deployable policy from a snapshot. The snapshot's
+    /// topology (ω, hidden sizes, squash) overrides the corresponding
+    /// fields of `config`; everything else (e.g. online-state semantics)
+    /// comes from `config`.
+    pub fn restore(mut config: EaDrlConfig, snapshot: &PolicySnapshot) -> EaDrlPolicy {
+        config.omega = snapshot.omega;
+        config.ddpg.hidden = snapshot.hidden.clone();
+        config.ddpg.squash = snapshot.squash;
+        let mut agent = DdpgAgent::new(snapshot.omega, snapshot.action_dim, config.ddpg.clone());
+        agent.load_actor_params(&snapshot.params);
+        EaDrlPolicy {
+            config,
+            agent: Some(agent),
+            window: snapshot.window.clone(),
+            last_weights: Vec::new(),
+            learning_curve: Vec::new(),
+        }
+    }
+
+    fn scaled_state(&self) -> Option<Vec<f64>> {
+        if self.window.len() < self.config.omega {
+            return None;
+        }
+        Some(normalize_window(
+            &self.window[self.window.len() - self.config.omega..],
+        ))
+    }
+
+    fn push_output(&mut self, value: f64) {
+        self.window.push(value);
+        let cap = self.config.omega.max(1);
+        if self.window.len() > cap {
+            self.window.remove(0);
+        }
+    }
+}
+
+impl Combiner for EaDrlPolicy {
+    fn name(&self) -> &str {
+        "EA-DRL"
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        let omega = self.config.omega;
+        if actuals.len() <= omega + 1 || preds.is_empty() {
+            return; // Too little data to train; stay uniform.
+        }
+        let m = preds[0].len();
+        // Split the validation segment: the head trains the policy, the
+        // tail scores checkpoints (generalization-based model selection).
+        let holdout = self.config.selection_holdout.clamp(0.0, 0.6);
+        let head_len = ((preds.len() as f64) * (1.0 - holdout)).round() as usize;
+        let head_len = head_len.clamp(omega + 2, preds.len());
+        // Model selection: several independent DDPG trainings, with the
+        // actor checkpointed at its best greedy RMSE on the held-out tail.
+        // DDPG's performance oscillates between episodes, so "last actor"
+        // is routinely worse than "best actor seen".
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let mut selected_agent = None;
+        // Static candidates: the informed weighting at several sharpness
+        // levels, each expressed as an actor whose output bias encodes the
+        // weighting. These derisk the RL training — if no trained
+        // checkpoint beats the best static weighting on the holdout, EA-DRL
+        // deploys that weighting (still a policy network, still Algorithm 1).
+        if self.config.informed_init {
+            for temperature in [3.0, 6.0, 10.0, 15.0] {
+                let mut agent = DdpgAgent::new(omega, m, self.config.ddpg.clone());
+                let bias = informed_logits(preds, actuals, temperature, self.config.ddpg.squash);
+                agent.init_actor_output_bias(&bias);
+                let score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+                if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                    best = Some((score, agent.actor_params()));
+                    selected_agent = Some(agent);
+                }
+            }
+        }
+        self.learning_curve.clear();
+        for restart in 0..self.config.restarts.max(1) {
+            let mut env = EnsembleEnv::new(
+                preds[..head_len].to_vec(),
+                actuals[..head_len].to_vec(),
+                omega,
+                self.config.reward,
+                self.config.max_iter,
+            );
+            let mut ddpg = self.config.ddpg.clone();
+            ddpg.seed = ddpg.seed.wrapping_add(1000 * restart as u64);
+            let squash = ddpg.squash;
+            let mut agent = DdpgAgent::new(omega, m, ddpg);
+            if self.config.informed_init {
+                let bias = informed_logits(preds, actuals, self.config.init_temperature, squash);
+                agent.init_actor_output_bias(&bias);
+            }
+            let mut curve = Vec::with_capacity(self.config.episodes);
+            let cadence = self.config.eval_every.max(1);
+            // Episode-0 checkpoint: the informed initialization itself
+            // competes in the selection.
+            let init_score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+            let mut restart_best: Option<(f64, Vec<f64>)> =
+                Some((init_score, agent.actor_params()));
+            for episode in 0..self.config.episodes {
+                curve.push(agent.run_episode(&mut env, true));
+                if (episode + 1) % cadence == 0 || episode + 1 == self.config.episodes {
+                    let score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+                    if restart_best.as_ref().is_none_or(|(b, _)| score < *b) {
+                        restart_best = Some((score, agent.actor_params()));
+                    }
+                }
+            }
+            // The learning curve documents the (first restart's) training
+            // run regardless of which candidate is deployed.
+            if self.learning_curve.is_empty() {
+                self.learning_curve = curve;
+            }
+            if let Some((score, params)) = restart_best {
+                let margin = 1.0 - self.config.selection_margin.clamp(0.0, 0.5);
+                if best.as_ref().is_none_or(|(b, _)| score < *b * margin) {
+                    agent.load_actor_params(&params);
+                    best = Some((score, params));
+                    selected_agent = Some(agent);
+                }
+            }
+        }
+        if let Some(agent) = selected_agent {
+            self.agent = Some(agent);
+        }
+        // Seed the online window with the latest actual values.
+        self.window = actuals[actuals.len() - omega..].to_vec();
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        let w = match (&self.agent, self.scaled_state()) {
+            (Some(agent), Some(state)) => agent.act(&state),
+            _ => vec![1.0 / m as f64; m],
+        };
+        self.last_weights = w.clone();
+        w
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        // With `OnlineState::Observed` (§II-E's reading) the realized
+        // value advances the window when available; the default
+        // `EnsembleOutputs` matches the training-time transition (§II-B),
+        // which keeps the online state distribution in-domain for the
+        // policy network and measures slightly better end-to-end.
+        if self.config.online_state == OnlineState::Observed && actual.is_finite() {
+            self.push_output(actual);
+            return;
+        }
+        let w = if self.last_weights.len() == preds.len() {
+            self.last_weights.clone()
+        } else {
+            vec![1.0 / preds.len() as f64; preds.len()]
+        };
+        self.push_output(dot(&w, preds));
+    }
+}
+
+/// Raw-logit targets for the informed actor initialization: per-model
+/// validation RMSEs are mapped to `z_i = -T · e_i / min_j e_j`, centered,
+/// and inverted through the squash so that `squash(z_raw) = softmax(z)`.
+fn informed_logits(
+    preds: &[Vec<f64>],
+    actuals: &[f64],
+    temperature: f64,
+    squash: ActionSquash,
+) -> Vec<f64> {
+    let m = preds[0].len();
+    let mut sse = vec![0.0; m];
+    for (p, &a) in preds.iter().zip(actuals.iter()) {
+        for (s, &v) in sse.iter_mut().zip(p.iter()) {
+            let e = v - a;
+            *s += e * e;
+        }
+    }
+    let errs: Vec<f64> = sse
+        .iter()
+        .map(|s| (s / preds.len().max(1) as f64).sqrt())
+        .collect();
+    let best = errs
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-12);
+    let mut z: Vec<f64> = errs.iter().map(|e| -temperature * e / best).collect();
+    let mean = z.iter().sum::<f64>() / m as f64;
+    for v in z.iter_mut() {
+        *v -= mean;
+    }
+    match squash {
+        ActionSquash::BoundedSoftmax { scale } => {
+            // Invert softmax(scale·tanh(raw)) = softmax(z): raw = atanh(z/scale).
+            // When the target logits exceed the representable band, rescale
+            // them affinely (clamping would flatten the ordering among the
+            // best models, which is exactly the resolution that matters).
+            let band = 0.95 * scale;
+            let max_abs = z.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if max_abs > band {
+                let f = band / max_abs;
+                for v in z.iter_mut() {
+                    *v *= f;
+                }
+            }
+            z.iter()
+                .map(|&v| {
+                    let r = (v / scale).clamp(-0.999, 0.999);
+                    0.5 * ((1.0 + r) / (1.0 - r)).ln()
+                })
+                .collect()
+        }
+        // Plain softmax (and anything else): the logits pass through.
+        _ => z,
+    }
+}
+
+/// RMSE of the greedy (noise-free) policy replayed over the validation
+/// segment, advancing the state window with the ensemble's own outputs.
+/// The rollout starts at `omega` (so the window is well-formed), but only
+/// the steps at or beyond `score_from` count toward the returned RMSE —
+/// pass the training/holdout boundary to score generalization only.
+fn greedy_rollout_rmse(
+    agent: &DdpgAgent,
+    preds: &[Vec<f64>],
+    actuals: &[f64],
+    omega: usize,
+    score_from: usize,
+) -> f64 {
+    let mut window = actuals[..omega].to_vec();
+    let mut out = Vec::new();
+    let mut truth = Vec::new();
+    for t in omega..actuals.len() {
+        let state = normalize_window(&window);
+        let w = agent.act(&state);
+        let ens: f64 = preds[t].iter().zip(w.iter()).map(|(p, wi)| p * wi).sum();
+        if t >= score_from.min(actuals.len().saturating_sub(1)) {
+            out.push(ens);
+            truth.push(actuals[t]);
+        }
+        window.remove(0);
+        window.push(ens);
+    }
+    eadrl_timeseries::metrics::rmse(&truth, &out)
+}
+
+/// The complete EA-DRL forecaster: a pool of heterogeneous base models plus
+/// the learned aggregation policy.
+pub struct EaDrl {
+    pool: Vec<Box<dyn Forecaster>>,
+    dropped: Vec<String>,
+    policy: EaDrlPolicy,
+    fitted: bool,
+}
+
+impl EaDrl {
+    /// Creates an EA-DRL model over the given base-model pool.
+    ///
+    /// # Panics
+    /// Panics on an empty pool.
+    pub fn new(pool: Vec<Box<dyn Forecaster>>, config: EaDrlConfig) -> Self {
+        assert!(!pool.is_empty(), "EA-DRL needs a non-empty model pool");
+        EaDrl {
+            pool,
+            dropped: Vec::new(),
+            policy: EaDrlPolicy::new(config),
+            fitted: false,
+        }
+    }
+
+    /// Fits the pool and learns the combination policy offline.
+    ///
+    /// The training series is split `1 - val_fraction` / `val_fraction`;
+    /// base models fit on the prefix, their rolling one-step predictions
+    /// over the suffix become the policy-learning environment. Pool members
+    /// that cannot fit (series too short for their configuration) are
+    /// dropped and reported via [`EaDrl::dropped_models`].
+    pub fn fit(&mut self, train: &[f64]) -> Result<(), ModelError> {
+        let val_fraction = self.policy.config.val_fraction.clamp(0.05, 0.5);
+        let fit_len = ((train.len() as f64) * (1.0 - val_fraction)).round() as usize;
+        let omega = self.policy.config.omega;
+        if fit_len < 20 || train.len() - fit_len < omega + 2 {
+            return Err(ModelError::SeriesTooShort {
+                needed: 20 + omega + 2,
+                got: train.len(),
+            });
+        }
+        let (fit_part, val_part) = train.split_at(fit_len);
+
+        // Fit the pool, dropping members the series cannot support.
+        self.dropped.clear();
+        let mut kept: Vec<Box<dyn Forecaster>> = Vec::with_capacity(self.pool.len());
+        for mut model in std::mem::take(&mut self.pool) {
+            match model.fit(fit_part) {
+                Ok(()) => kept.push(model),
+                Err(_) => self.dropped.push(model.name().to_string()),
+            }
+        }
+        if kept.is_empty() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 20,
+                got: train.len(),
+            });
+        }
+        self.pool = kept;
+
+        // Rolling one-step predictions over the validation suffix.
+        let mut preds = self.validation_predictions(fit_part, val_part);
+        crate::experiment::sanitize_predictions(&mut preds, fit_part);
+
+        // Optional pruning (paper future work): keep only the fraction of
+        // the pool that performed best on the validation segment.
+        if let Some(fraction) = self.policy.config().prune_fraction {
+            let keep = ((self.pool.len() as f64) * fraction.clamp(0.05, 1.0)).ceil() as usize;
+            let keep = keep.clamp(1, self.pool.len());
+            if keep < self.pool.len() {
+                let m = self.pool.len();
+                let mut sse = vec![0.0; m];
+                for (p, &a) in preds.iter().zip(val_part.iter()) {
+                    for (s, &v) in sse.iter_mut().zip(p.iter()) {
+                        let e = v - a;
+                        *s += e * e;
+                    }
+                }
+                let mut order: Vec<usize> = (0..m).collect();
+                order.sort_by(|&a, &b| {
+                    sse[a]
+                        .partial_cmp(&sse[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut selected = order[..keep].to_vec();
+                selected.sort_unstable();
+                let mut kept_models = Vec::with_capacity(keep);
+                for (idx, model) in std::mem::take(&mut self.pool).into_iter().enumerate() {
+                    if selected.contains(&idx) {
+                        kept_models.push(model);
+                    } else {
+                        self.dropped.push(format!("{} (pruned)", model.name()));
+                    }
+                }
+                self.pool = kept_models;
+                preds = preds
+                    .into_iter()
+                    .map(|row| selected.iter().map(|&i| row[i]).collect())
+                    .collect();
+            }
+        }
+
+        self.policy.warm_up(&preds, val_part);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn validation_predictions(&self, fit_part: &[f64], val_part: &[f64]) -> Vec<Vec<f64>> {
+        let per_model: Vec<Vec<f64>> = self
+            .pool
+            .iter()
+            .map(|model| rolling_forecast(model.as_ref(), fit_part, val_part))
+            .collect();
+        (0..val_part.len())
+            .map(|t| per_model.iter().map(|p| p[t]).collect())
+            .collect()
+    }
+
+    /// One-step-ahead forecast given the observed history (Algorithm 1's
+    /// inner step). Advances the policy's internal state window with the
+    /// ensemble output.
+    pub fn predict_next(&mut self, history: &[f64]) -> f64 {
+        let preds: Vec<f64> = self
+            .pool
+            .iter()
+            .map(|model| model.predict_next(history))
+            .collect();
+        let ens = self.policy.combine(&preds);
+        self.policy.observe(&preds, f64::NAN);
+        ens
+    }
+
+    /// Forecasts the next `n` values recursively (Algorithm 1): each
+    /// prediction is appended to the working history before the next step.
+    pub fn forecast(&mut self, history: &[f64], n: usize) -> Vec<f64> {
+        let mut extended = history.to_vec();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let next = self.predict_next(&extended);
+            extended.push(next);
+            out.push(next);
+        }
+        out
+    }
+
+    /// The current ensemble weights (one actor forward pass).
+    pub fn current_weights(&mut self) -> Vec<f64> {
+        let m = self.pool.len();
+        self.policy.weights(m)
+    }
+
+    /// Names of the (retained) pool members.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.pool.iter().map(|m| m.name()).collect()
+    }
+
+    /// Pool members dropped at fit time (series too short for them).
+    pub fn dropped_models(&self) -> &[String] {
+        &self.dropped
+    }
+
+    /// Number of active base models.
+    pub fn n_models(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The offline learning curve (paper Figure 2).
+    pub fn learning_curve(&self) -> &[EpisodeStats] {
+        self.policy.learning_curve()
+    }
+
+    /// Immutable access to the learned policy.
+    pub fn policy(&self) -> &EaDrlPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadrl_models::{auto_regressive, Naive, SeasonalNaive};
+
+    fn seasonal_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 5.0 + 20.0)
+            .collect()
+    }
+
+    fn tiny_pool() -> Vec<Box<dyn Forecaster>> {
+        vec![
+            Box::new(Naive),
+            Box::new(SeasonalNaive::new(12)),
+            Box::new(auto_regressive(5, 1e-3)),
+        ]
+    }
+
+    fn quick_config(seed: u64) -> EaDrlConfig {
+        EaDrlConfig {
+            omega: 6,
+            episodes: 15,
+            max_iter: 40,
+            ..Default::default()
+        }
+        .with_seed(seed)
+    }
+
+    impl EaDrlConfig {
+        fn with_seed(mut self, seed: u64) -> Self {
+            self.ddpg.seed = seed;
+            self
+        }
+    }
+
+    #[test]
+    fn fit_trains_policy_and_keeps_pool() {
+        let series = seasonal_series(300);
+        let mut model = EaDrl::new(tiny_pool(), quick_config(1));
+        model.fit(&series[..240]).unwrap();
+        assert_eq!(model.n_models(), 3);
+        assert!(model.dropped_models().is_empty());
+        assert!(model.policy().is_trained());
+        assert_eq!(model.learning_curve().len(), 15);
+    }
+
+    #[test]
+    fn weights_are_a_distribution() {
+        let series = seasonal_series(300);
+        let mut model = EaDrl::new(tiny_pool(), quick_config(2));
+        model.fit(&series[..240]).unwrap();
+        let w = model.current_weights();
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn one_step_forecast_is_reasonable() {
+        let series = seasonal_series(300);
+        let mut model = EaDrl::new(tiny_pool(), quick_config(3));
+        model.fit(&series[..240]).unwrap();
+        let pred = model.predict_next(&series[..240]);
+        let truth = series[240];
+        // The pool contains a seasonal-naive member that is near-exact, so
+        // any sensible weighting lands close.
+        assert!((pred - truth).abs() < 5.0, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn multi_step_forecast_has_right_length_and_stays_finite() {
+        let series = seasonal_series(300);
+        let mut model = EaDrl::new(tiny_pool(), quick_config(4));
+        model.fit(&series[..240]).unwrap();
+        let preds = model.forecast(&series[..240], 20);
+        assert_eq!(preds.len(), 20);
+        assert!(preds.iter().all(|p| p.is_finite()));
+        // Stays within a sane band around the series level.
+        assert!(preds.iter().all(|p| (*p - 20.0).abs() < 15.0));
+    }
+
+    #[test]
+    fn unfit_pool_members_are_dropped() {
+        let mut pool = tiny_pool();
+        // A seasonal-naive with an absurd period cannot fit on 240 points.
+        pool.push(Box::new(SeasonalNaive::new(100_000)));
+        let series = seasonal_series(300);
+        let mut model = EaDrl::new(pool, quick_config(5));
+        model.fit(&series[..240]).unwrap();
+        assert_eq!(model.n_models(), 3);
+        assert_eq!(model.dropped_models().len(), 1);
+    }
+
+    #[test]
+    fn too_short_series_is_error() {
+        let mut model = EaDrl::new(tiny_pool(), quick_config(6));
+        assert!(model.fit(&seasonal_series(25)).is_err());
+    }
+
+    #[test]
+    fn untrained_policy_is_uniform() {
+        let mut policy = EaDrlPolicy::new(EaDrlConfig::default());
+        assert!(!policy.is_trained());
+        let w = policy.weights(4);
+        assert_eq!(w, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn pruning_shrinks_the_pool_to_the_best_members() {
+        let series = seasonal_series(320);
+        // Pool: two sensible models plus a hopeless constant-zero one.
+        #[derive(Debug, Clone)]
+        struct Zero;
+        impl Forecaster for Zero {
+            fn name(&self) -> &str {
+                "Zero"
+            }
+            fn fit(&mut self, _s: &[f64]) -> Result<(), eadrl_models::ModelError> {
+                Ok(())
+            }
+            fn predict_next(&self, _h: &[f64]) -> f64 {
+                0.0
+            }
+            fn box_clone(&self) -> Box<dyn Forecaster> {
+                Box::new(self.clone())
+            }
+        }
+        let mut pool = tiny_pool();
+        pool.push(Box::new(Zero));
+        let mut config = quick_config(8);
+        config.prune_fraction = Some(0.5); // keep ceil(4 * 0.5) = 2 models
+        let mut model = EaDrl::new(pool, config);
+        model.fit(&series[..260]).unwrap();
+        assert_eq!(model.n_models(), 2);
+        assert!(
+            model.dropped_models().iter().any(|n| n.contains("Zero")),
+            "the hopeless model must be pruned: {:?}",
+            model.dropped_models()
+        );
+        // Weights still form a distribution over the pruned pool.
+        let w = model.current_weights();
+        assert_eq!(w.len(), 2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_policy_exactly() {
+        let series = seasonal_series(300);
+        let mut pool = tiny_pool();
+        for m in pool.iter_mut() {
+            m.fit(&series[..200]).unwrap();
+        }
+        // Train a policy through the combiner interface.
+        let preds: Vec<Vec<f64>> = (200..260)
+            .map(|t| pool.iter().map(|m| m.predict_next(&series[..t])).collect())
+            .collect();
+        let actuals = series[200..260].to_vec();
+        let mut original = EaDrlPolicy::new(quick_config(3));
+        original.warm_up(&preds, &actuals);
+        assert!(original.is_trained());
+
+        let snap = original.snapshot().expect("trained policy snapshots");
+        let mut buf = Vec::new();
+        snap.write(&mut buf).unwrap();
+        let back = crate::persist::PolicySnapshot::read(buf.as_slice()).unwrap();
+        let mut restored = EaDrlPolicy::restore(quick_config(3), &back);
+
+        // Same weights now, and same weights after identical observations.
+        assert_eq!(original.weights(3), restored.weights(3));
+        for (p, &a) in preds.iter().zip(actuals.iter()) {
+            original.observe(p, a);
+            restored.observe(p, a);
+        }
+        assert_eq!(original.weights(3), restored.weights(3));
+    }
+
+    #[test]
+    fn untrained_policy_has_no_snapshot() {
+        let mut policy = EaDrlPolicy::new(EaDrlConfig::default());
+        assert!(policy.snapshot().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_panics() {
+        let _ = EaDrl::new(Vec::new(), EaDrlConfig::default());
+    }
+}

@@ -1,0 +1,304 @@
+//! Online policy refresh — the paper's first future-work direction.
+//!
+//! §III-B: *"One potential future research direction would be to
+//! investigate the impact of an online update of the policy, for instance
+//! in a periodic manner, or in an informed fashion following a
+//! drift-detection mechanism in the data and/or the performance of the
+//! ensemble."*
+//!
+//! [`AdaptiveEaDrl`] implements both variants on top of [`EaDrlPolicy`]:
+//! it maintains a sliding buffer of recent `(predictions, actual)` pairs
+//! and re-runs the offline policy learning on that buffer either every
+//! `period` steps ([`RefreshTrigger::Periodic`]) or when a Page–Hinkley
+//! test on the ensemble's absolute error signals drift
+//! ([`RefreshTrigger::DriftDetected`]).
+
+use crate::combiner::Combiner;
+use crate::eadrl::{EaDrlConfig, EaDrlPolicy};
+use eadrl_timeseries::drift::PageHinkley;
+use serde::{Deserialize, Serialize};
+
+/// When to re-learn the combination policy online.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RefreshTrigger {
+    /// Never refresh — behaves exactly like the paper's frozen EA-DRL.
+    Never,
+    /// Refresh every `period` online steps.
+    Periodic {
+        /// Steps between refreshes.
+        period: usize,
+    },
+    /// Refresh when a Page–Hinkley test on the ensemble's absolute error
+    /// fires (`delta` tolerance, `lambda` threshold).
+    DriftDetected {
+        /// Page–Hinkley magnitude tolerance.
+        delta: f64,
+        /// Page–Hinkley detection threshold.
+        lambda: f64,
+    },
+}
+
+/// EA-DRL with online policy refresh.
+///
+/// Usable anywhere a [`Combiner`] is expected; when no refresh ever
+/// triggers it is behaviourally identical to [`EaDrlPolicy`].
+pub struct AdaptiveEaDrl {
+    config: EaDrlConfig,
+    trigger: RefreshTrigger,
+    /// Sliding buffer of recent steps used as the refresh training data.
+    buffer_len: usize,
+    policy: EaDrlPolicy,
+    history: Vec<(Vec<f64>, f64)>,
+    detector: Option<PageHinkley>,
+    steps_since_refresh: usize,
+    refreshes: usize,
+}
+
+impl AdaptiveEaDrl {
+    /// Creates an adaptive EA-DRL.
+    ///
+    /// `buffer_len` bounds the sliding window of recent observations that
+    /// a refresh trains on; it must comfortably exceed
+    /// `config.omega + 2` for the refresh to be able to build an
+    /// environment (smaller buffers simply skip refreshing).
+    pub fn new(config: EaDrlConfig, trigger: RefreshTrigger, buffer_len: usize) -> Self {
+        let detector = match trigger {
+            RefreshTrigger::DriftDetected { delta, lambda } => {
+                Some(PageHinkley::new(delta, lambda))
+            }
+            _ => None,
+        };
+        AdaptiveEaDrl {
+            policy: EaDrlPolicy::new(config.clone()),
+            config,
+            trigger,
+            buffer_len: buffer_len.max(8),
+            history: Vec::new(),
+            detector,
+            steps_since_refresh: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Number of online policy refreshes performed so far.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// The currently deployed policy.
+    pub fn policy(&self) -> &EaDrlPolicy {
+        &self.policy
+    }
+
+    fn push_history(&mut self, preds: &[f64], actual: f64) {
+        self.history.push((preds.to_vec(), actual));
+        if self.history.len() > self.buffer_len {
+            self.history.remove(0);
+        }
+    }
+
+    fn refresh(&mut self) {
+        if self.history.len() <= self.config.omega + 2 {
+            return; // Not enough recent data to rebuild the environment.
+        }
+        let preds: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| p.clone()).collect();
+        let actuals: Vec<f64> = self.history.iter().map(|(_, a)| *a).collect();
+        let mut fresh = EaDrlPolicy::new(self.config.clone());
+        fresh.warm_up(&preds, &actuals);
+        if fresh.is_trained() {
+            self.policy = fresh;
+            self.refreshes += 1;
+        }
+        self.steps_since_refresh = 0;
+        if let Some(d) = self.detector.as_mut() {
+            d.reset();
+        }
+    }
+}
+
+impl Combiner for AdaptiveEaDrl {
+    fn name(&self) -> &str {
+        match self.trigger {
+            RefreshTrigger::Never => "EA-DRL",
+            RefreshTrigger::Periodic { .. } => "EA-DRL+periodic",
+            RefreshTrigger::DriftDetected { .. } => "EA-DRL+drift",
+        }
+    }
+
+    fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        self.policy.warm_up(preds, actuals);
+        // Seed the refresh buffer with the tail of the warm-up stream.
+        let start = preds.len().saturating_sub(self.buffer_len);
+        for (p, &a) in preds[start..].iter().zip(actuals[start..].iter()) {
+            self.history.push((p.clone(), a));
+        }
+    }
+
+    fn weights(&mut self, m: usize) -> Vec<f64> {
+        self.policy.weights(m)
+    }
+
+    fn observe(&mut self, preds: &[f64], actual: f64) {
+        // Error signal for the drift detector uses the current weighting.
+        let w = self.policy.weights(preds.len());
+        let forecast: f64 = w.iter().zip(preds.iter()).map(|(w, p)| w * p).sum();
+        self.policy.observe(preds, actual);
+        self.push_history(preds, actual);
+        self.steps_since_refresh += 1;
+
+        let should_refresh = match self.trigger {
+            RefreshTrigger::Never => false,
+            RefreshTrigger::Periodic { period } => self.steps_since_refresh >= period.max(1),
+            RefreshTrigger::DriftDetected { .. } => {
+                if actual.is_finite() {
+                    self.detector
+                        .as_mut()
+                        .map(|d| d.update((forecast - actual).abs()))
+                        .unwrap_or(false)
+                } else {
+                    false
+                }
+            }
+        };
+        if should_refresh {
+            self.refresh();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::run_combiner;
+    use eadrl_timeseries::metrics::rmse;
+
+    fn quick_config() -> EaDrlConfig {
+        let mut config = EaDrlConfig::default();
+        config.omega = 6;
+        config.episodes = 8;
+        config.max_iter = 40;
+        config.restarts = 1;
+        config
+    }
+
+    /// Model 0 accurate before the flip, model 1 after, model 2 never.
+    fn regime_stream(n: usize, flip: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let actuals: Vec<f64> = (0..n)
+            .map(|t| (t as f64 / 6.0).sin() * 3.0 + 10.0)
+            .collect();
+        let preds = actuals
+            .iter()
+            .enumerate()
+            .map(|(t, &a)| {
+                let w = ((t * 7) % 13) as f64 / 13.0 - 0.5;
+                if t < flip {
+                    vec![a + 0.1 * w, a + 2.5 + w, a - 7.0]
+                } else {
+                    vec![a + 2.5 - w, a + 0.1 * w, a - 7.0]
+                }
+            })
+            .collect();
+        (preds, actuals)
+    }
+
+    #[test]
+    fn never_trigger_matches_frozen_policy() {
+        let (preds, actuals) = regime_stream(200, 400); // no flip in range
+        let (wp, op) = preds.split_at(80);
+        let (wa, oa) = actuals.split_at(80);
+        let mut frozen = EaDrlPolicy::new(quick_config());
+        frozen.warm_up(wp, wa);
+        let frozen_out = run_combiner(&mut frozen, op, oa);
+
+        let mut adaptive = AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Never, 60);
+        adaptive.warm_up(wp, wa);
+        let adaptive_out = run_combiner(&mut adaptive, op, oa);
+        assert_eq!(frozen_out, adaptive_out);
+        assert_eq!(adaptive.refreshes(), 0);
+    }
+
+    #[test]
+    fn periodic_refresh_fires_on_schedule() {
+        let (preds, actuals) = regime_stream(220, 500);
+        let (wp, op) = preds.split_at(80);
+        let (wa, oa) = actuals.split_at(80);
+        let mut adaptive =
+            AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Periodic { period: 40 }, 70);
+        adaptive.warm_up(wp, wa);
+        run_combiner(&mut adaptive, op, oa);
+        // 140 online steps / 40 = 3 refreshes.
+        assert_eq!(adaptive.refreshes(), 3);
+    }
+
+    #[test]
+    fn drift_refresh_recovers_after_regime_flip() {
+        let (preds, actuals) = regime_stream(320, 200);
+        let (wp, op) = preds.split_at(100);
+        let (wa, oa) = actuals.split_at(100);
+
+        let mut frozen = EaDrlPolicy::new(quick_config());
+        frozen.warm_up(wp, wa);
+        let frozen_out = run_combiner(&mut frozen, op, oa);
+
+        let mut adaptive = AdaptiveEaDrl::new(
+            quick_config(),
+            RefreshTrigger::DriftDetected {
+                delta: 0.05,
+                lambda: 6.0,
+            },
+            80,
+        );
+        adaptive.warm_up(wp, wa);
+        let adaptive_out = run_combiner(&mut adaptive, op, oa);
+
+        assert!(adaptive.refreshes() >= 1, "drift never triggered a refresh");
+        // Post-flip segment (flip at absolute 200 = online step 100).
+        let frozen_post = rmse(&oa[120..], &frozen_out[120..]);
+        let adaptive_post = rmse(&oa[120..], &adaptive_out[120..]);
+        assert!(
+            adaptive_post < frozen_post,
+            "refresh did not help after drift: adaptive {adaptive_post:.3} vs frozen {frozen_post:.3}"
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_skips_refresh_gracefully() {
+        let (preds, actuals) = regime_stream(150, 60);
+        let (wp, op) = preds.split_at(60);
+        let (wa, oa) = actuals.split_at(60);
+        let mut adaptive =
+            AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Periodic { period: 10 }, 8);
+        adaptive.warm_up(wp, wa);
+        let out = run_combiner(&mut adaptive, op, oa);
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert_eq!(
+            adaptive.refreshes(),
+            0,
+            "8-step buffer cannot retrain ω=6 policy"
+        );
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(
+            AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Never, 50).name(),
+            "EA-DRL"
+        );
+        assert_eq!(
+            AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Periodic { period: 5 }, 50).name(),
+            "EA-DRL+periodic"
+        );
+        assert_eq!(
+            AdaptiveEaDrl::new(
+                quick_config(),
+                RefreshTrigger::DriftDetected {
+                    delta: 0.1,
+                    lambda: 5.0
+                },
+                50
+            )
+            .name(),
+            "EA-DRL+drift"
+        );
+    }
+}

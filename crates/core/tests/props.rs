@@ -1,0 +1,110 @@
+//! Property-based tests for the EA-DRL core.
+
+use eadrl_core::baselines::opera::project_simplex;
+use eadrl_core::env::normalize_window;
+use eadrl_core::{EnsembleEnv, RewardKind};
+use eadrl_rl::Environment;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplex_projection_is_idempotent_and_valid(
+        v in prop::collection::vec(-100.0f64..100.0, 1..20),
+    ) {
+        let p = project_simplex(&v);
+        prop_assert_eq!(p.len(), v.len());
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+        // Projecting again changes nothing.
+        let q = project_simplex(&p);
+        for (a, b) in p.iter().zip(q.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_preserves_order(v in prop::collection::vec(-10.0f64..10.0, 2..12)) {
+        let p = project_simplex(&v);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] > v[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-12, "order violated at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_windows_have_zero_mean_unit_std(
+        window in prop::collection::vec(-1e4f64..1e4, 2..30),
+    ) {
+        let spread = window.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - window.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let n = normalize_window(&window);
+        let mean: f64 = n.iter().sum::<f64>() / n.len() as f64;
+        let var: f64 = n.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n.len() as f64;
+        prop_assert!(mean.abs() < 1e-9);
+        prop_assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_reward_is_always_in_range(
+        noise in prop::collection::vec(-5.0f64..5.0, 20..40),
+        offsets in prop::collection::vec(-10.0f64..10.0, 3),
+        weights_raw in prop::collection::vec(0.01f64..1.0, 3),
+    ) {
+        let actuals: Vec<f64> = noise.iter().scan(0.0, |acc, n| {
+            *acc += n;
+            Some(*acc)
+        }).collect();
+        let preds: Vec<Vec<f64>> = actuals
+            .iter()
+            .map(|&a| offsets.iter().map(|o| a + o).collect())
+            .collect();
+        let m = offsets.len();
+        let total: f64 = weights_raw.iter().sum();
+        let weights: Vec<f64> = weights_raw.iter().map(|w| w / total).collect();
+
+        let mut env = EnsembleEnv::new(
+            preds,
+            actuals,
+            5,
+            RewardKind::Rank { normalize: true },
+            1000,
+        );
+        env.reset();
+        loop {
+            let (state, reward, done) = env.step(&weights);
+            prop_assert!(reward >= 1.0 / m as f64 - 1e-12 && reward <= 1.0 + 1e-12,
+                "normalized rank reward {reward} out of range");
+            prop_assert_eq!(state.len(), 5);
+            prop_assert!(state.iter().all(|v| v.is_finite()));
+            if done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn nrmse_reward_never_exceeds_one(
+        noise in prop::collection::vec(-3.0f64..3.0, 20..40),
+        offset in -5.0f64..5.0,
+    ) {
+        let actuals: Vec<f64> = (0..noise.len())
+            .map(|t| (t as f64 / 4.0).sin() * 3.0 + noise[t] * 0.1)
+            .collect();
+        let preds: Vec<Vec<f64>> = actuals.iter().map(|&a| vec![a + offset, a]).collect();
+        let mut env = EnsembleEnv::new(preds, actuals, 4, RewardKind::OneMinusNrmse, 1000);
+        env.reset();
+        loop {
+            let (_, reward, done) = env.step(&[0.5, 0.5]);
+            prop_assert!(reward <= 1.0 + 1e-9, "1-NRMSE reward {reward} > 1");
+            if done {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the dataset generators.
+
+use eadrl_datasets::{generate, DatasetId, SeriesBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_dataset_is_finite_and_sized(
+        seed in 0u64..10_000,
+        len in 10usize..400,
+        idx in 0usize..20,
+    ) {
+        let id = DatasetId::all()[idx];
+        let s = generate(id, len, seed);
+        prop_assert_eq!(s.len(), len);
+        prop_assert!(s.values().iter().all(|v| v.is_finite()), "{:?}", id);
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_inputs(
+        seed in 0u64..10_000,
+        idx in 0usize..20,
+    ) {
+        let id = DatasetId::all()[idx];
+        let a = generate(id, 120, seed);
+        let b = generate(id, 120, seed);
+        prop_assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn builder_components_compose_additively(
+        seed in 0u64..1000,
+        base in -100.0f64..100.0,
+        slope in -1.0f64..1.0,
+    ) {
+        // With no noise, base + trend is exactly affine.
+        let s = SeriesBuilder::new(seed, base).trend(slope).build(50);
+        for (t, v) in s.iter().enumerate() {
+            prop_assert!((v - (base + slope * t as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamp_min_is_respected_for_any_noise(
+        seed in 0u64..1000,
+        sigma in 0.1f64..50.0,
+        floor in -10.0f64..10.0,
+    ) {
+        let s = SeriesBuilder::new(seed, 0.0)
+            .arma_noise(0.3, 0.2, sigma)
+            .clamp_min(floor)
+            .build(200);
+        prop_assert!(s.iter().all(|&v| v >= floor));
+    }
+
+    #[test]
+    fn level_shift_moves_only_the_tail(
+        seed in 0u64..1000,
+        magnitude in -100.0f64..100.0,
+        at in 0.1f64..0.9,
+    ) {
+        let clean = SeriesBuilder::new(seed, 5.0).build(100);
+        let shifted = SeriesBuilder::new(seed, 5.0)
+            .level_shift(at, magnitude)
+            .build(100);
+        let cut = (at * 100.0) as usize;
+        for t in 0..cut {
+            prop_assert_eq!(clean[t], shifted[t]);
+        }
+        for t in cut..100 {
+            prop_assert!((shifted[t] - clean[t] - magnitude).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Bayesian model-comparison tests (Benavoli, Corani, Demšar & Zaffalon,
+//! "Time for a change", JMLR 2017) — the tests the paper uses for Table II.
+
+use crate::special::student_t_cdf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Posterior probabilities of the three hypotheses about a difference
+/// `B − A` in loss: A better (`p_left`), practically equivalent
+/// (`p_rope`), B better (`p_right`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// P(difference < -rope): the *first* method loses more — i.e. the
+    /// second method is better.
+    pub p_left: f64,
+    /// P(|difference| ≤ rope): practical equivalence.
+    pub p_rope: f64,
+    /// P(difference > rope).
+    pub p_right: f64,
+}
+
+impl Posterior {
+    /// True when `p_left` exceeds the significance threshold.
+    pub fn left_significant(&self, threshold: f64) -> bool {
+        self.p_left > threshold
+    }
+
+    /// True when `p_right` exceeds the significance threshold.
+    pub fn right_significant(&self, threshold: f64) -> bool {
+        self.p_right > threshold
+    }
+}
+
+/// Bayesian correlated t-test on paired loss differences from a single
+/// dataset.
+///
+/// `diffs[i]` is the loss of method B minus the loss of method A at
+/// evaluation point `i` (so `p_left` = P(B's expected loss is lower by
+/// more than `rope`) — careful: left means the difference is negative,
+/// i.e. **B better**). `rho` is the correlation between evaluation points
+/// introduced by overlapping training data (`n_test / n_total` in k-fold
+/// CV; use a small value such as `1/n` for rolling-origin evaluation).
+/// `rope` is the region of practical equivalence in loss units.
+///
+/// The posterior of the mean difference is Student-t with `n - 1` degrees
+/// of freedom, location `mean(diffs)` and scale
+/// `sqrt((1/n + rho/(1-rho)) * var(diffs))`.
+pub fn correlated_t_test(diffs: &[f64], rho: f64, rope: f64) -> Posterior {
+    let n = diffs.len();
+    if n < 2 {
+        return Posterior {
+            p_left: 1.0 / 3.0,
+            p_rope: 1.0 / 3.0,
+            p_right: 1.0 / 3.0,
+        };
+    }
+    let nf = n as f64;
+    let mean = diffs.iter().sum::<f64>() / nf;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (nf - 1.0);
+    let rho = rho.clamp(0.0, 0.999);
+    let scale2 = (1.0 / nf + rho / (1.0 - rho)) * var;
+    if scale2 <= 1e-300 {
+        // Degenerate: all differences identical.
+        return if mean > rope {
+            Posterior {
+                p_left: 0.0,
+                p_rope: 0.0,
+                p_right: 1.0,
+            }
+        } else if mean < -rope {
+            Posterior {
+                p_left: 1.0,
+                p_rope: 0.0,
+                p_right: 0.0,
+            }
+        } else {
+            Posterior {
+                p_left: 0.0,
+                p_rope: 1.0,
+                p_right: 0.0,
+            }
+        };
+    }
+    let scale = scale2.sqrt();
+    let dof = nf - 1.0;
+    // P(diff ≤ x) = T_dof((x - mean) / scale).
+    let cdf = |x: f64| student_t_cdf((x - mean) / scale, dof);
+    let p_left = cdf(-rope);
+    let p_right = 1.0 - cdf(rope);
+    Posterior {
+        p_left,
+        p_rope: (1.0 - p_left - p_right).max(0.0),
+        p_right,
+    }
+}
+
+/// Bayesian sign test across multiple datasets.
+///
+/// `diffs[d]` is method B's mean loss minus method A's mean loss on
+/// dataset `d`. Each dataset votes left (< -rope), rope, or right
+/// (> rope); the posterior over the three probabilities is
+/// Dirichlet(prior + counts) with the standard prior pseudo-count of 1 on
+/// the rope, and the returned probabilities are Monte-Carlo estimates of
+/// which region has the largest posterior mass.
+pub fn bayes_sign_test(diffs: &[f64], rope: f64, samples: usize, seed: u64) -> Posterior {
+    let mut counts = [0.0_f64; 3]; // [left, rope, right]
+    counts[1] += 1.0; // prior pseudo-count on the ROPE
+    for &d in diffs {
+        if d < -rope {
+            counts[0] += 1.0;
+        } else if d > rope {
+            counts[2] += 1.0;
+        } else {
+            counts[1] += 1.0;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = samples.max(100);
+    let mut wins = [0usize; 3];
+    for _ in 0..samples {
+        // Dirichlet draw via normalized Gamma(αᵢ, 1) variables.
+        let g: Vec<f64> = counts.iter().map(|&a| gamma_sample(a, &mut rng)).collect();
+        let total: f64 = g.iter().sum();
+        let theta: Vec<f64> = g.iter().map(|x| x / total).collect();
+        let argmax = if theta[0] >= theta[1] && theta[0] >= theta[2] {
+            0
+        } else if theta[1] >= theta[2] {
+            1
+        } else {
+            2
+        };
+        wins[argmax] += 1;
+    }
+    Posterior {
+        p_left: wins[0] as f64 / samples as f64,
+        p_rope: wins[1] as f64 / samples as f64,
+        p_right: wins[2] as f64 / samples as f64,
+    }
+}
+
+/// Gamma(shape, 1) sampler (Marsaglia & Tsang, with the shape < 1 boost).
+fn gamma_sample(shape: f64, rng: &mut StdRng) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_test_detects_clear_winner() {
+        // B consistently loses ~1 more than A → diff positive → p_right.
+        let diffs: Vec<f64> = (0..50).map(|i| 1.0 + 0.01 * (i % 5) as f64).collect();
+        let p = correlated_t_test(&diffs, 0.01, 0.0);
+        assert!(p.p_right > 0.99, "{p:?}");
+        assert!(p.right_significant(0.95));
+        assert!(!p.left_significant(0.95));
+    }
+
+    #[test]
+    fn t_test_symmetric_under_negation() {
+        let diffs: Vec<f64> = (0..30)
+            .map(|i| 0.5 + 0.1 * ((i % 7) as f64 - 3.0))
+            .collect();
+        let neg: Vec<f64> = diffs.iter().map(|d| -d).collect();
+        let p = correlated_t_test(&diffs, 0.02, 0.0);
+        let q = correlated_t_test(&neg, 0.02, 0.0);
+        assert!((p.p_right - q.p_left).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_test_rope_captures_small_differences() {
+        let diffs: Vec<f64> = (0..40).map(|i| 0.001 * ((i % 3) as f64 - 1.0)).collect();
+        let p = correlated_t_test(&diffs, 0.02, 0.1);
+        assert!(p.p_rope > 0.95, "{p:?}");
+    }
+
+    #[test]
+    fn t_test_correlation_widens_posterior() {
+        let diffs: Vec<f64> = (0..30)
+            .map(|i| 0.3 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let tight = correlated_t_test(&diffs, 0.0, 0.0);
+        let wide = correlated_t_test(&diffs, 0.5, 0.0);
+        assert!(
+            wide.p_right < tight.p_right,
+            "correlation must reduce certainty: {wide:?} vs {tight:?}"
+        );
+    }
+
+    #[test]
+    fn t_test_degenerate_inputs() {
+        let p = correlated_t_test(&[1.0], 0.0, 0.0);
+        assert!((p.p_left - 1.0 / 3.0).abs() < 1e-12);
+        // All-identical positive diffs → certain right.
+        let q = correlated_t_test(&[2.0; 10], 0.0, 0.0);
+        assert_eq!(q.p_right, 1.0);
+    }
+
+    #[test]
+    fn sign_test_detects_dominance_across_datasets() {
+        // B worse on 18 of 20 datasets.
+        let diffs: Vec<f64> = (0..20).map(|i| if i < 18 { 1.0 } else { -1.0 }).collect();
+        let p = bayes_sign_test(&diffs, 0.0, 5000, 42);
+        assert!(p.p_right > 0.95, "{p:?}");
+    }
+
+    #[test]
+    fn sign_test_balanced_is_uncertain() {
+        let diffs: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let p = bayes_sign_test(&diffs, 0.0, 5000, 7);
+        assert!(p.p_right < 0.9 && p.p_left < 0.9, "{p:?}");
+    }
+
+    #[test]
+    fn sign_test_rope_votes() {
+        // Everything inside the rope → rope dominates.
+        let diffs = vec![0.01; 15];
+        let p = bayes_sign_test(&diffs, 0.1, 5000, 3);
+        assert!(p.p_rope > 0.95, "{p:?}");
+    }
+
+    #[test]
+    fn sign_test_is_seed_deterministic() {
+        let diffs = vec![0.5, -0.2, 0.7, 0.9, -0.1];
+        let a = bayes_sign_test(&diffs, 0.0, 2000, 11);
+        let b = bayes_sign_test(&diffs, 0.0, 2000, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gamma_sampler_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &shape in &[0.5, 1.0, 3.0, 10.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+}

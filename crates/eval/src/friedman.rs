@@ -1,0 +1,218 @@
+//! Friedman test and Nemenyi critical difference (Demšar, JMLR 2006) —
+//! the classical frequentist companions to the paper's Bayesian tests.
+//!
+//! The paper's rank-distribution analysis (Table II's "Avg. Rank" column)
+//! is exactly the statistic the Friedman test formalizes: are the methods'
+//! average ranks across datasets consistent with all methods being
+//! equivalent? When the Friedman test rejects, the Nemenyi critical
+//! difference says how far apart two average ranks must be for the pair
+//! to differ significantly.
+
+use crate::ranks::rank_with_ties;
+use crate::special::incomplete_beta;
+
+/// Result of the Friedman test over a datasets × methods loss matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FriedmanResult {
+    /// Friedman chi-square statistic (with ties handled by mid-ranks).
+    pub chi_square: f64,
+    /// Iman–Davenport F correction of the statistic (less conservative).
+    pub f_statistic: f64,
+    /// Approximate p-value of the F statistic.
+    pub p_value: f64,
+    /// Average rank per method (same order as the input columns).
+    pub average_ranks: Vec<f64>,
+    /// Number of datasets (blocks).
+    pub n_datasets: usize,
+    /// Number of methods (treatments).
+    pub n_methods: usize,
+}
+
+impl FriedmanResult {
+    /// True when the test rejects method equivalence at level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the Friedman test on `scores[dataset][method]` (lower = better).
+///
+/// Returns `None` for degenerate shapes (< 2 datasets or < 2 methods, or a
+/// ragged matrix).
+pub fn friedman_test(scores: &[Vec<f64>]) -> Option<FriedmanResult> {
+    let n = scores.len();
+    let k = scores.first()?.len();
+    if n < 2 || k < 2 || scores.iter().any(|row| row.len() != k) {
+        return None;
+    }
+    // Average ranks per method across datasets (ties get mid-ranks).
+    let mut rank_sums = vec![0.0; k];
+    for row in scores {
+        for (j, r) in rank_with_ties(row).into_iter().enumerate() {
+            rank_sums[j] += r;
+        }
+    }
+    let average_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_r2: f64 = average_ranks.iter().map(|r| r * r).sum();
+    let chi_square = (12.0 * nf) / (kf * (kf + 1.0)) * (sum_r2 - kf * (kf + 1.0).powi(2) / 4.0);
+
+    // Iman–Davenport correction: F = ((n-1) χ²) / (n(k-1) − χ²), F-dist
+    // with (k-1, (k-1)(n-1)) degrees of freedom.
+    let denom = nf * (kf - 1.0) - chi_square;
+    let f_statistic = if denom.abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        ((nf - 1.0) * chi_square / denom).max(0.0)
+    };
+    let d1 = kf - 1.0;
+    let d2 = (kf - 1.0) * (nf - 1.0);
+    let p_value = if f_statistic.is_finite() {
+        1.0 - f_cdf(f_statistic, d1, d2)
+    } else {
+        0.0
+    };
+
+    Some(FriedmanResult {
+        chi_square,
+        f_statistic,
+        p_value,
+        average_ranks,
+        n_datasets: n,
+        n_methods: k,
+    })
+}
+
+/// CDF of the F distribution via the regularized incomplete beta.
+fn f_cdf(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 0.0;
+    }
+    let x = d1 * f / (d1 * f + d2);
+    incomplete_beta(0.5 * d1, 0.5 * d2, x)
+}
+
+/// Nemenyi critical difference at α = 0.05: two methods' average ranks
+/// differ significantly when their gap exceeds this value.
+///
+/// `CD = q_α √(k(k+1) / (6n))`, with the Studentized-range-based `q_0.05`
+/// constants tabulated by Demšar for `2 ≤ k ≤ 20` methods (`None`
+/// outside that range).
+pub fn nemenyi_critical_difference(n_methods: usize, n_datasets: usize) -> Option<f64> {
+    // q_0.05 for k = 2..=20 (Demšar 2006, Table 5a).
+    const Q05: [f64; 19] = [
+        1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313, 3.354,
+        3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+    ];
+    if !(2..=20).contains(&n_methods) || n_datasets == 0 {
+        return None;
+    }
+    let q = Q05[n_methods - 2];
+    let k = n_methods as f64;
+    let n = n_datasets as f64;
+    Some(q * (k * (k + 1.0) / (6.0 * n)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Method 0 always best, method 2 always worst — maximal disagreement
+    /// with the null.
+    fn dominated(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![1.0 + i as f64, 2.0 + i as f64, 3.0 + i as f64])
+            .collect()
+    }
+
+    #[test]
+    fn friedman_rejects_for_consistent_dominance() {
+        let r = friedman_test(&dominated(15)).unwrap();
+        assert!(r.rejects_at(0.05), "p = {}", r.p_value);
+        assert_eq!(r.average_ranks, vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.n_datasets, 15);
+        assert_eq!(r.n_methods, 3);
+        // Maximal χ² for k=3: n·(k-1)·... here χ² = 12·15/(3·4)·(14−12) = 30.
+        assert!((r.chi_square - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friedman_does_not_reject_under_the_null() {
+        // Rotating winners: every method has the same average rank.
+        let scores: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let mut row = vec![1.0, 2.0, 3.0];
+                row.rotate_left(i % 3);
+                row
+            })
+            .collect();
+        let r = friedman_test(&scores).unwrap();
+        assert!(!r.rejects_at(0.05), "p = {}", r.p_value);
+        for rank in &r.average_ranks {
+            assert!((rank - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(friedman_test(&[]).is_none());
+        assert!(friedman_test(&[vec![1.0, 2.0]]).is_none());
+        assert!(friedman_test(&[vec![1.0], vec![2.0]]).is_none());
+        assert!(friedman_test(&[vec![1.0, 2.0], vec![1.0]]).is_none());
+    }
+
+    #[test]
+    fn nemenyi_matches_published_values() {
+        // Demšar's example scale: k = 5, n = 30 → CD ≈ 1.113? Verify the
+        // formula directly: q = 2.728, sqrt(5·6 / 180) = sqrt(1/6).
+        let cd = nemenyi_critical_difference(5, 30).unwrap();
+        let expected = 2.728 * (30.0_f64 / 180.0).sqrt();
+        assert!((cd - expected).abs() < 1e-12);
+        // More methods and fewer datasets both widen the CD.
+        assert!(
+            nemenyi_critical_difference(10, 30).unwrap() > cd,
+            "more methods must widen CD"
+        );
+        assert!(
+            nemenyi_critical_difference(5, 10).unwrap() > cd,
+            "fewer datasets must widen CD"
+        );
+    }
+
+    #[test]
+    fn nemenyi_bounds() {
+        assert!(nemenyi_critical_difference(1, 10).is_none());
+        assert!(nemenyi_critical_difference(25, 10).is_none());
+        // k = 21 is just past the tabulated constants: must be None, not
+        // an out-of-bounds panic.
+        assert!(nemenyi_critical_difference(21, 10).is_none());
+        assert!(nemenyi_critical_difference(20, 10).is_some());
+        assert!(nemenyi_critical_difference(16, 0).is_none());
+        assert!(nemenyi_critical_difference(16, 20).is_some());
+    }
+
+    #[test]
+    fn f_cdf_sanity() {
+        // F CDF is 0 at 0, increases, and approaches 1.
+        assert_eq!(f_cdf(0.0, 3.0, 10.0), 0.0);
+        let a = f_cdf(1.0, 3.0, 10.0);
+        let b = f_cdf(3.0, 3.0, 10.0);
+        let c = f_cdf(100.0, 3.0, 10.0);
+        assert!(a < b && b < c);
+        assert!(c > 0.99);
+    }
+
+    #[test]
+    fn paper_scale_critical_difference() {
+        // The paper's Table II scale: 16 methods, 20 datasets.
+        let cd = nemenyi_critical_difference(16, 20).unwrap();
+        // EA-DRL (2.89) vs GBM (14.11) differ by far more than the CD.
+        assert!(14.11 - 2.89 > cd);
+        // EA-DRL vs DEMSC (4.53) is within the CD: not separable by
+        // Nemenyi at this sample size — consistent with the paper needing
+        // the sharper Bayesian analysis.
+        assert!(4.53 - 2.89 < cd);
+    }
+}

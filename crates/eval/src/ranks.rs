@@ -1,0 +1,132 @@
+//! Rank distributions across datasets (Table II's "Avg. Rank" column).
+
+/// Mean ± standard deviation of one method's ranks across datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// Method name.
+    pub name: String,
+    /// Mean rank (1 = always best).
+    pub mean: f64,
+    /// Population standard deviation of the ranks.
+    pub std: f64,
+}
+
+/// Ranks a score vector ascending (lower score = rank 1), averaging ties.
+pub fn rank_with_ties(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && (scores[order[j]] - scores[order[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        // Average rank of positions i..j (1-based).
+        let avg = (i + 1..=j).map(|r| r as f64).sum::<f64>() / (j - i) as f64;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Computes the mean ± std rank of each method across datasets.
+///
+/// `scores[d][m]` is method `m`'s loss (lower = better) on dataset `d`;
+/// `names[m]` labels the methods. Output is sorted by mean rank
+/// (best first).
+///
+/// # Panics
+/// Panics when rows are ragged or names mismatch the method count.
+pub fn average_ranks(names: &[String], scores: &[Vec<f64>]) -> Vec<RankSummary> {
+    let m = names.len();
+    assert!(
+        scores.iter().all(|row| row.len() == m),
+        "ragged score matrix"
+    );
+    let d = scores.len();
+    assert!(d > 0, "need at least one dataset");
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::with_capacity(d); m];
+    for row in scores {
+        let ranks = rank_with_ties(row);
+        for (col, r) in ranks.into_iter().enumerate() {
+            per_method[col].push(r);
+        }
+    }
+    let mut out: Vec<RankSummary> = names
+        .iter()
+        .zip(per_method.iter())
+        .map(|(name, ranks)| {
+            let mean = ranks.iter().sum::<f64>() / d as f64;
+            let var = ranks.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / d as f64;
+            RankSummary {
+                name: name.clone(),
+                mean,
+                std: var.sqrt(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.mean
+            .partial_cmp(&b.mean)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        assert_eq!(rank_with_ties(&[0.3, 0.1, 0.2]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        // Two tied for first share (1+2)/2 = 1.5.
+        assert_eq!(rank_with_ties(&[0.1, 0.1, 0.5]), vec![1.5, 1.5, 3.0]);
+        // Three-way tie in the middle.
+        let r = rank_with_ties(&[0.0, 1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(r, vec![1.0, 3.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn average_ranks_across_datasets() {
+        let names = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+        // A best on both datasets, C worst on both.
+        let scores = vec![vec![0.1, 0.2, 0.3], vec![0.2, 0.5, 0.9]];
+        let summary = average_ranks(&names, &scores);
+        assert_eq!(summary[0].name, "A");
+        assert_eq!(summary[0].mean, 1.0);
+        assert_eq!(summary[0].std, 0.0);
+        assert_eq!(summary[2].name, "C");
+        assert_eq!(summary[2].mean, 3.0);
+    }
+
+    #[test]
+    fn average_ranks_with_variation() {
+        let names = vec!["A".to_string(), "B".to_string()];
+        // A first, then second: mean 1.5, std 0.5.
+        let scores = vec![vec![0.1, 0.9], vec![0.9, 0.1]];
+        let summary = average_ranks(&names, &scores);
+        assert!((summary[0].mean - 1.5).abs() < 1e-12);
+        assert!((summary[0].std - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        let names = vec!["A".to_string(), "B".to_string()];
+        let _ = average_ranks(&names, &[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

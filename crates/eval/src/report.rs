@@ -1,0 +1,189 @@
+//! Win/loss tabulation and ASCII table rendering for the paper's tables.
+
+use crate::bayes::correlated_t_test;
+
+/// One row of the Table II-style pairwise comparison: the reference method
+/// (EA-DRL in the paper) against one baseline across all datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseRow {
+    /// Baseline name.
+    pub method: String,
+    /// Datasets where the reference method lost to this baseline.
+    pub losses: usize,
+    /// … of which significant at the 95 % posterior level.
+    pub significant_losses: usize,
+    /// Datasets where the reference method won.
+    pub wins: usize,
+    /// … of which significant.
+    pub significant_wins: usize,
+    /// Draws (neither side's posterior crossed anything; RMSE tie).
+    pub draws: usize,
+}
+
+/// Builds the pairwise comparison of a reference method against each
+/// baseline, dataset by dataset, with a Bayesian correlated t-test on the
+/// per-step squared-error differences deciding significance.
+///
+/// Inputs are per-dataset: `actuals[d]`, `reference_preds[d]`, and for
+/// each baseline `b`, `baseline_preds[b].1[d]`. A "win" for the reference
+/// means its RMSE is strictly lower on that dataset; the win is
+/// *significant* when `P(reference's squared loss is lower) > threshold`.
+pub fn pairwise_table(
+    actuals: &[Vec<f64>],
+    reference_preds: &[Vec<f64>],
+    baseline_preds: &[(String, Vec<Vec<f64>>)],
+    rho: f64,
+    threshold: f64,
+) -> Vec<PairwiseRow> {
+    let d = actuals.len();
+    assert_eq!(reference_preds.len(), d, "reference predictions misaligned");
+    let mut rows = Vec::with_capacity(baseline_preds.len());
+    for (name, preds) in baseline_preds {
+        assert_eq!(preds.len(), d, "{name} predictions misaligned");
+        let mut row = PairwiseRow {
+            method: name.clone(),
+            losses: 0,
+            significant_losses: 0,
+            wins: 0,
+            significant_wins: 0,
+            draws: 0,
+        };
+        for di in 0..d {
+            let y = &actuals[di];
+            let r = &reference_preds[di];
+            let b = &preds[di];
+            // Per-step squared-loss differences: baseline − reference, so
+            // positive means the reference wins; the loss scale is
+            // normalized away by the variance inside the t-test.
+            let diffs: Vec<f64> = (0..y.len())
+                .map(|t| {
+                    let eb = b[t] - y[t];
+                    let er = r[t] - y[t];
+                    eb * eb - er * er
+                })
+                .collect();
+            let mean_diff = diffs.iter().sum::<f64>() / diffs.len().max(1) as f64;
+            let post = correlated_t_test(&diffs, rho, 0.0);
+            if mean_diff > 0.0 {
+                row.wins += 1;
+                if post.right_significant(threshold) {
+                    row.significant_wins += 1;
+                }
+            } else if mean_diff < 0.0 {
+                row.losses += 1;
+                if post.left_significant(threshold) {
+                    row.significant_losses += 1;
+                }
+            } else {
+                row.draws += 1;
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders rows of cells as an aligned ASCII table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_counts_wins_and_losses() {
+        // Two datasets; reference perfect on ds0, baseline perfect on ds1.
+        let actuals = vec![vec![1.0; 30], vec![2.0; 30]];
+        let reference = vec![vec![1.0; 30], vec![3.0; 30]];
+        let baseline = vec![vec![1.5; 30], vec![2.0; 30]];
+        let rows = pairwise_table(
+            &actuals,
+            &reference,
+            &[("B".to_string(), baseline)],
+            0.0,
+            0.95,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].wins, 1);
+        assert_eq!(rows[0].losses, 1);
+        assert_eq!(rows[0].significant_wins, 1);
+        assert_eq!(rows[0].significant_losses, 1);
+        assert_eq!(rows[0].draws, 0);
+    }
+
+    #[test]
+    fn near_ties_are_not_significant() {
+        // Alternating tiny advantage: the posterior stays uncertain.
+        let actuals = vec![(0..40).map(|t| t as f64).collect::<Vec<f64>>()];
+        let reference = vec![(0..40)
+            .map(|t| t as f64 + if t % 2 == 0 { 0.1 } else { -0.1 })
+            .collect()];
+        let baseline = vec![(0..40)
+            .map(|t| t as f64 + if t % 2 == 0 { -0.1 } else { 0.1 })
+            .collect()];
+        let rows = pairwise_table(
+            &actuals,
+            &reference,
+            &[("B".to_string(), baseline)],
+            0.0,
+            0.95,
+        );
+        assert_eq!(rows[0].significant_wins + rows[0].significant_losses, 0);
+    }
+
+    #[test]
+    fn render_table_with_no_rows_still_has_header() {
+        let s = render_table(&["A", "B"], &[]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('A'));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            &["Method", "RMSE"],
+            &[
+                vec!["EA-DRL".to_string(), "1.23".to_string()],
+                vec!["SE".to_string(), "10.5".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "RMSE" column starts at the same index everywhere.
+        let idx = lines[0].find("RMSE").unwrap();
+        assert_eq!(&lines[2][idx..idx + 4], "1.23");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the statistics harness.
+
+use eadrl_eval::special::{incomplete_beta, ln_gamma, student_t_cdf};
+use eadrl_eval::{average_ranks, bayes_sign_test, correlated_t_test, rank_with_ties};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn t_cdf_is_a_cdf(t in -50.0f64..50.0, dof in 1.0f64..100.0) {
+        let p = student_t_cdf(t, dof);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Symmetry.
+        let q = student_t_cdf(-t, dof);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        // Monotonicity in t.
+        let p2 = student_t_cdf(t + 0.1, dof);
+        prop_assert!(p2 >= p - 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_bounds_and_symmetry(
+        a in 0.5f64..20.0,
+        b in 0.5f64..20.0,
+        x in 0.0f64..1.0,
+    ) {
+        let v = incomplete_beta(a, b, x);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "I_{x}({a},{b}) = {v}");
+        let w = incomplete_beta(b, a, 1.0 - x);
+        prop_assert!((v + w - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence(x in 0.5f64..50.0) {
+        // Γ(x+1) = x Γ(x)  =>  lnΓ(x+1) = ln x + lnΓ(x).
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn posterior_probabilities_sum_to_one(
+        diffs in prop::collection::vec(-10.0f64..10.0, 2..60),
+        rho in 0.0f64..0.9,
+        rope in 0.0f64..1.0,
+    ) {
+        let p = correlated_t_test(&diffs, rho, rope);
+        prop_assert!((p.p_left + p.p_rope + p.p_right - 1.0).abs() < 1e-6);
+        prop_assert!(p.p_left >= 0.0 && p.p_rope >= 0.0 && p.p_right >= 0.0);
+    }
+
+    #[test]
+    fn sign_test_probabilities_sum_to_one(
+        diffs in prop::collection::vec(-5.0f64..5.0, 1..30),
+        rope in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let p = bayes_sign_test(&diffs, rope, 500, seed);
+        prop_assert!((p.p_left + p.p_rope + p.p_right - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_sum_to_triangular_number(scores in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        let ranks = rank_with_ties(&scores);
+        let n = scores.len();
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - (n * (n + 1)) as f64 / 2.0).abs() < 1e-9);
+        // Best score has the lowest rank.
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert!(ranks.iter().all(|&r| r >= ranks[best]));
+    }
+
+    #[test]
+    fn average_ranks_are_within_bounds(
+        scores in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 4), 1..8),
+    ) {
+        let names: Vec<String> = (0..4).map(|i| format!("m{i}")).collect();
+        let summary = average_ranks(&names, &scores);
+        for s in &summary {
+            prop_assert!(s.mean >= 1.0 - 1e-9 && s.mean <= 4.0 + 1e-9);
+            prop_assert!(s.std >= 0.0);
+        }
+        // Output is sorted by mean rank.
+        for pair in summary.windows(2) {
+            prop_assert!(pair[0].mean <= pair[1].mean + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stronger_evidence_moves_the_posterior(
+        base in 0.1f64..5.0,
+        n in 5usize..40,
+    ) {
+        // Constant positive differences with tiny jitter: more samples
+        // must not reduce confidence that the difference is positive.
+        let small: Vec<f64> = (0..n).map(|i| base + 0.01 * (i % 3) as f64).collect();
+        let big: Vec<f64> = (0..4 * n).map(|i| base + 0.01 * (i % 3) as f64).collect();
+        let p_small = correlated_t_test(&small, 0.0, 0.0);
+        let p_big = correlated_t_test(&big, 0.0, 0.0);
+        prop_assert!(p_big.p_right >= p_small.p_right - 1e-6);
+    }
+}

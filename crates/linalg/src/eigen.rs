@@ -1,0 +1,213 @@
+//! Cyclic-Jacobi eigendecomposition of real symmetric matrices.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenpairs are sorted by descending eigenvalue, which is the order PCA
+/// and PCR want.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the decomposition with the cyclic Jacobi method.
+    ///
+    /// `a` must be square; only symmetry up to round-off is assumed (the
+    /// routine symmetrizes internally). Convergence is declared when the
+    /// off-diagonal Frobenius norm falls below `1e-12 * ||A||_F`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!(
+                    "eigen requires square matrix, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ),
+            });
+        }
+        if n == 0 {
+            return Ok(SymmetricEigen {
+                eigenvalues: Vec::new(),
+                eigenvectors: Matrix::zeros(0, 0),
+            });
+        }
+        // Symmetrize to guard against tiny asymmetries from accumulation order.
+        let mut m = a.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+                m[(i, j)] = avg;
+                m[(j, i)] = avg;
+            }
+        }
+        let mut v = Matrix::identity(n);
+        let scale = m.frobenius_norm().max(1e-300);
+        let tol = 1e-12 * scale;
+        const MAX_SWEEPS: usize = 100;
+        for sweep in 0..MAX_SWEEPS {
+            let off = off_diag_norm(&m);
+            if off <= tol {
+                return Ok(Self::sorted(m, v));
+            }
+            let _ = sweep;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation angle.
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Rotate rows/columns p and q of M.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate rotations into V.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        if off_diag_norm(&m) <= tol * 1e3 {
+            // Close enough in practice; accept.
+            return Ok(Self::sorted(m, v));
+        }
+        Err(LinalgError::NoConvergence {
+            iterations: MAX_SWEEPS,
+        })
+    }
+
+    fn sorted(m: Matrix, v: Matrix) -> Self {
+        let n = m.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&a, &b| {
+            diag[b]
+                .partial_cmp(&diag[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for row in 0..n {
+                eigenvectors[(row, new_col)] = v[(row, old_col)];
+            }
+        }
+        SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        }
+    }
+}
+
+fn off_diag_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+    }
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-10);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+        // Eigenvector of λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.eigenvectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 0.2, 0.1, 0.5, 0.2, 2.0, 0.3, 0.0, 0.1, 0.3, 1.0,
+            ],
+        )
+        .unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        // V Vᵀ = I
+        let vvt = e.eigenvectors.matmul(&e.eigenvectors.transpose()).unwrap();
+        assert!(vvt.sub(&Matrix::identity(4)).unwrap().max_abs() < 1e-9);
+        // V diag(λ) Vᵀ = A
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            d[(i, i)] = e.eigenvalues[i];
+        }
+        let rec = e
+            .eigenvectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.eigenvectors.transpose())
+            .unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        let trace = 5.0 + 4.0 + 3.0;
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        let e = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+    }
+}

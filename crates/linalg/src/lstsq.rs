@@ -1,0 +1,120 @@
+//! Linear least squares and ridge regression.
+
+use crate::decompose::{Cholesky, Qr};
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Solves the ordinary least-squares problem `min ||X β - y||₂` via QR.
+///
+/// Falls back to a tiny ridge (`λ = 1e-8`) when `X` is rank deficient so
+/// callers fitting collinear embeddings still get a usable solution.
+pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("lstsq: {} rows vs {} targets", x.rows(), y.len()),
+        });
+    }
+    if x.rows() >= x.cols() {
+        match Qr::new(x).and_then(|qr| qr.solve(y)) {
+            Ok(beta) if beta.iter().all(|b| b.is_finite()) => return Ok(beta),
+            _ => {}
+        }
+    }
+    // Rank-deficient or underdetermined: regularize.
+    ridge(x, y, 1e-8)
+}
+
+/// Solves the ridge-regression problem `min ||X β - y||₂² + λ ||β||₂²`
+/// through the normal equations `(XᵀX + λI) β = Xᵀy` with Cholesky.
+///
+/// `lambda` must be non-negative; a value of zero reduces to OLS via the
+/// normal equations (with a tiny jitter retry if the Gram matrix is not
+/// positive definite).
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("ridge: {} rows vs {} targets", x.rows(), y.len()),
+        });
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("ridge: negative lambda {lambda}"),
+        });
+    }
+    let mut gram = x.gram();
+    gram.add_diagonal(lambda);
+    let xty = x.tr_matvec(y)?;
+    match Cholesky::new(&gram) {
+        Ok(ch) => ch.solve(&xty),
+        Err(_) => {
+            // Jitter escalation: keep multiplying the ridge until SPD.
+            let mut jitter = (lambda.max(1e-10)) * 10.0;
+            for _ in 0..12 {
+                let mut g = x.gram();
+                g.add_diagonal(jitter);
+                if let Ok(ch) = Cholesky::new(&g) {
+                    return ch.solve(&xty);
+                }
+                jitter *= 10.0;
+            }
+            Err(LinalgError::Singular)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstsq_recovers_exact_line() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let y = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+        let beta = lstsq(&x, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-10);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_handles_collinear_columns() {
+        // Second column duplicates the first: rank deficient.
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        let y = [2.0, 4.0, 6.0];
+        let beta = lstsq(&x, &y).unwrap();
+        // Ridge spreads the coefficient; the fitted values must still match.
+        let pred = x.matvec(&beta).unwrap();
+        for (p, t) in pred.iter().zip(y.iter()) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_toward_zero() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = [2.0, 4.0, 6.0];
+        let b0 = ridge(&x, &y, 0.0).unwrap()[0];
+        let b_big = ridge(&x, &y, 100.0).unwrap()[0];
+        assert!((b0 - 2.0).abs() < 1e-8);
+        assert!(b_big < b0);
+        assert!(b_big > 0.0);
+    }
+
+    #[test]
+    fn ridge_rejects_negative_lambda() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(ridge(&x, &[1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let x = Matrix::zeros(3, 2);
+        assert!(lstsq(&x, &[1.0, 2.0]).is_err());
+        assert!(ridge(&x, &[1.0, 2.0], 0.1).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Partial least squares (PLS1) regression via the NIPALS algorithm.
+
+use crate::matrix::Matrix;
+use crate::vector::{dot, norm2};
+use crate::{LinalgError, Result};
+
+/// A fitted PLS1 regression model (single response variable).
+///
+/// Implements the classic NIPALS deflation scheme: each component extracts
+/// the direction in X-space with maximal covariance with the (deflated)
+/// response. Backs the PLS base forecaster in `eadrl-models`.
+#[derive(Debug, Clone)]
+pub struct PlsModel {
+    x_mean: Vec<f64>,
+    y_mean: f64,
+    /// Final regression coefficients in the original (centered) X space.
+    coefficients: Vec<f64>,
+    n_components: usize,
+}
+
+impl PlsModel {
+    /// Fits a PLS1 model with `n_components` latent components.
+    ///
+    /// `n_components` is clamped to `min(features, samples - 1)`. Requires
+    /// at least two samples.
+    pub fn fit(x: &Matrix, y: &[f64], n_components: usize) -> Result<Self> {
+        let (n, d) = x.shape();
+        if n != y.len() {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("PLS: {n} samples vs {} targets", y.len()),
+            });
+        }
+        if n < 2 {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("PLS needs >= 2 samples, got {n}"),
+            });
+        }
+        let k = n_components.clamp(1, d.min(n - 1));
+
+        // Center X and y.
+        let mut x_mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in x_mean.iter_mut().zip(x.row(i).iter()) {
+                *m += v;
+            }
+        }
+        for m in x_mean.iter_mut() {
+            *m /= n as f64;
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+
+        let mut e = x.clone(); // X residual
+        for i in 0..n {
+            for (v, m) in e.row_mut(i).iter_mut().zip(x_mean.iter()) {
+                *v -= m;
+            }
+        }
+        let mut f: Vec<f64> = y.iter().map(|v| v - y_mean).collect(); // y residual
+
+        // NIPALS components.
+        let mut weights: Vec<Vec<f64>> = Vec::with_capacity(k); // w_j
+        let mut loadings: Vec<Vec<f64>> = Vec::with_capacity(k); // p_j
+        let mut y_loadings: Vec<f64> = Vec::with_capacity(k); // q_j
+
+        for _ in 0..k {
+            // w = Eᵀ f / ||Eᵀ f||
+            let mut w = e.tr_matvec(&f)?;
+            let wn = norm2(&w);
+            if wn < 1e-12 {
+                break; // No covariance left to extract.
+            }
+            for v in w.iter_mut() {
+                *v /= wn;
+            }
+            // Scores t = E w
+            let t = e.matvec(&w)?;
+            let tt = dot(&t, &t);
+            if tt < 1e-12 {
+                break;
+            }
+            // Loadings p = Eᵀ t / (tᵀt), q = fᵀ t / (tᵀt)
+            let mut p = e.tr_matvec(&t)?;
+            for v in p.iter_mut() {
+                *v /= tt;
+            }
+            let q = dot(&f, &t) / tt;
+            // Deflate: E -= t pᵀ ; f -= q t
+            for i in 0..n {
+                let ti = t[i];
+                for (ev, &pv) in e.row_mut(i).iter_mut().zip(p.iter()) {
+                    *ev -= ti * pv;
+                }
+                f[i] -= q * t[i];
+            }
+            weights.push(w);
+            loadings.push(p);
+            y_loadings.push(q);
+        }
+
+        let actual_k = weights.len();
+        if actual_k == 0 {
+            // y had no covariance with X at all; predict the mean.
+            return Ok(PlsModel {
+                x_mean,
+                y_mean,
+                coefficients: vec![0.0; d],
+                n_components: 0,
+            });
+        }
+
+        // β = W (PᵀW)⁻¹ q, computed with the small k x k system.
+        let w_mat = Matrix::from_rows(&weights)?.transpose(); // d x k
+        let p_mat = Matrix::from_rows(&loadings)?; // k x d
+        let ptw = p_mat.matmul(&w_mat)?; // k x k
+        let lu = crate::decompose::Lu::new(&ptw)?;
+        let inner = lu.solve(&y_loadings)?; // (PᵀW)⁻¹ q
+        let coefficients = w_mat.matvec(&inner)?;
+
+        Ok(PlsModel {
+            x_mean,
+            y_mean,
+            coefficients,
+            n_components: actual_k,
+        })
+    }
+
+    /// Predicts the response for one sample.
+    pub fn predict_one(&self, sample: &[f64]) -> Result<f64> {
+        if sample.len() != self.x_mean.len() {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!(
+                    "PLS predict: {} features vs fitted {}",
+                    sample.len(),
+                    self.x_mean.len()
+                ),
+            });
+        }
+        let centered: f64 = sample
+            .iter()
+            .zip(self.x_mean.iter())
+            .zip(self.coefficients.iter())
+            .map(|((v, m), c)| (v - m) * c)
+            .sum();
+        Ok(self.y_mean + centered)
+    }
+
+    /// Number of latent components actually extracted.
+    pub fn n_components(&self) -> usize {
+        self.n_components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2 x0 - x1 + 3
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 * 0.3, ((i * 7) % 11) as f64 * 0.5])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] + 3.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let pls = PlsModel::fit(&x, &y, 2).unwrap();
+        for (r, target) in rows.iter().zip(y.iter()) {
+            assert!((pls.predict_one(r).unwrap() - target).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn one_component_on_collinear_data_works() {
+        // x1 = 2 x0: PCA/OLS-unfriendly, PLS handles it with one component.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 5.0 * i as f64 + 1.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let pls = PlsModel::fit(&x, &y, 1).unwrap();
+        for (r, target) in rows.iter().zip(y.iter()) {
+            assert!((pls.predict_one(r).unwrap() - target).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_response_predicts_mean() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y = vec![4.2; 10];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let pls = PlsModel::fit(&x, &y, 2).unwrap();
+        assert_eq!(pls.n_components(), 0);
+        assert!((pls.predict_one(&[100.0, 5.0]).unwrap() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let x = Matrix::zeros(5, 2);
+        assert!(PlsModel::fit(&x, &[1.0; 4], 1).is_err());
+        let ok_y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let pls = PlsModel::fit(&x, &ok_y, 1).unwrap();
+        assert!(pls.predict_one(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Exponential-smoothing forecasters (SES, Holt, additive Holt–Winters).
+
+use crate::forecaster::{fallback_forecast, Forecaster, ModelError};
+
+/// The exponential-smoothing variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtsKind {
+    /// Simple exponential smoothing (level only).
+    Simple,
+    /// Holt's linear trend method (level + trend).
+    Holt,
+    /// Additive Holt–Winters (level + trend + seasonal) with the given
+    /// period.
+    HoltWinters {
+        /// Seasonal period in observations.
+        period: usize,
+    },
+}
+
+/// An ETS forecaster whose smoothing parameters are selected by grid search
+/// on one-step-ahead training SSE (the standard automatic-ETS approach at
+/// laptop scale).
+#[derive(Debug, Clone)]
+pub struct Ets {
+    name: String,
+    kind: EtsKind,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    fitted: bool,
+}
+
+impl Ets {
+    /// Creates an unfitted ETS model.
+    ///
+    /// # Panics
+    /// Panics for a Holt–Winters period < 2.
+    pub fn new(kind: EtsKind) -> Self {
+        if let EtsKind::HoltWinters { period } = kind {
+            assert!(period >= 2, "Holt-Winters period must be >= 2");
+        }
+        let name = match kind {
+            EtsKind::Simple => "ETS(SES)".to_string(),
+            EtsKind::Holt => "ETS(Holt)".to_string(),
+            EtsKind::HoltWinters { period } => format!("ETS(HW,{period})"),
+        };
+        Ets {
+            name,
+            kind,
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.1,
+            fitted: false,
+        }
+    }
+
+    /// Selected `(alpha, beta, gamma)` after fitting.
+    pub fn params(&self) -> (f64, f64, f64) {
+        (self.alpha, self.beta, self.gamma)
+    }
+
+    /// Automatic variant selection: fits SES, Holt, and (when the series
+    /// is long enough) additive Holt–Winters with `season`, and returns
+    /// the fitted model with the lowest one-step SSE over the training
+    /// pass — a miniature `ets()` from R's forecast package.
+    pub fn auto(series: &[f64], season: usize) -> Result<Ets, ModelError> {
+        let mut kinds = vec![EtsKind::Simple, EtsKind::Holt];
+        if season >= 2 && series.len() >= 2 * season {
+            kinds.push(EtsKind::HoltWinters { period: season });
+        }
+        let mut best: Option<(f64, Ets)> = None;
+        for kind in kinds {
+            let mut model = Ets::new(kind);
+            if model.fit(series).is_err() {
+                continue;
+            }
+            let (alpha, beta, gamma) = model.params();
+            let (_, sse) = model.run(series, alpha, beta, gamma);
+            if best.as_ref().is_none_or(|(b, _)| sse < *b) {
+                best = Some((sse, model));
+            }
+        }
+        best.map(|(_, m)| m).ok_or(ModelError::SeriesTooShort {
+            needed: 10,
+            got: series.len(),
+        })
+    }
+
+    /// Runs the smoothing recursion over `series` and returns the one-step
+    /// forecast for the value after the series, plus the accumulated
+    /// one-step SSE over the pass.
+    fn run(&self, series: &[f64], alpha: f64, beta: f64, gamma: f64) -> (f64, f64) {
+        match self.kind {
+            EtsKind::Simple => {
+                let mut level = series[0];
+                let mut sse = 0.0;
+                for &x in &series[1..] {
+                    let err = x - level;
+                    sse += err * err;
+                    level += alpha * err;
+                }
+                (level, sse)
+            }
+            EtsKind::Holt => {
+                let mut level = series[0];
+                let mut trend = if series.len() > 1 {
+                    series[1] - series[0]
+                } else {
+                    0.0
+                };
+                let mut sse = 0.0;
+                for &x in &series[1..] {
+                    let forecast = level + trend;
+                    let err = x - forecast;
+                    sse += err * err;
+                    let new_level = alpha * x + (1.0 - alpha) * (level + trend);
+                    trend = beta * (new_level - level) + (1.0 - beta) * trend;
+                    level = new_level;
+                }
+                (level + trend, sse)
+            }
+            EtsKind::HoltWinters { period } => {
+                if series.len() < 2 * period {
+                    // Too short for seasonal init; degrade to Holt.
+                    let holt = Ets {
+                        kind: EtsKind::Holt,
+                        ..self.clone()
+                    };
+                    return holt.run(series, alpha, beta, 0.0);
+                }
+                // Initialize level/trend from the first two seasons and the
+                // seasonal terms from first-season deviations.
+                let s1: f64 = series[..period].iter().sum::<f64>() / period as f64;
+                let s2: f64 = series[period..2 * period].iter().sum::<f64>() / period as f64;
+                let mut level = s1;
+                let mut trend = (s2 - s1) / period as f64;
+                let mut seasonal: Vec<f64> = series[..period].iter().map(|&x| x - s1).collect();
+                let mut sse = 0.0;
+                for (t, &x) in series.iter().enumerate().skip(period) {
+                    let sidx = t % period;
+                    let forecast = level + trend + seasonal[sidx];
+                    let err = x - forecast;
+                    sse += err * err;
+                    let new_level = alpha * (x - seasonal[sidx]) + (1.0 - alpha) * (level + trend);
+                    trend = beta * (new_level - level) + (1.0 - beta) * trend;
+                    seasonal[sidx] = gamma * (x - new_level) + (1.0 - gamma) * seasonal[sidx];
+                    level = new_level;
+                }
+                let next_sidx = series.len() % period;
+                (level + trend + seasonal[next_sidx], sse)
+            }
+        }
+    }
+}
+
+impl Forecaster for Ets {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ModelError> {
+        let needed = match self.kind {
+            EtsKind::HoltWinters { period } => (2 * period).max(10),
+            _ => 10,
+        };
+        if series.len() < needed {
+            return Err(ModelError::SeriesTooShort {
+                needed,
+                got: series.len(),
+            });
+        }
+        // Coarse grid search over smoothing parameters.
+        let grid = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+        let beta_grid: &[f64] = match self.kind {
+            EtsKind::Simple => &[0.0],
+            _ => &[0.01, 0.05, 0.1, 0.3],
+        };
+        let gamma_grid: &[f64] = match self.kind {
+            EtsKind::HoltWinters { .. } => &[0.05, 0.1, 0.3],
+            _ => &[0.0],
+        };
+        let mut best = (f64::INFINITY, 0.3, 0.1, 0.1);
+        for &a in &grid {
+            for &b in beta_grid {
+                for &g in gamma_grid {
+                    let (_, sse) = self.run(series, a, b, g);
+                    if sse < best.0 {
+                        best = (sse, a, b, g);
+                    }
+                }
+            }
+        }
+        self.alpha = best.1;
+        self.beta = best.2;
+        self.gamma = best.3;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_next(&self, history: &[f64]) -> f64 {
+        if !self.fitted || history.len() < 2 {
+            return fallback_forecast(history);
+        }
+        let (forecast, _) = self.run(history, self.alpha, self.beta, self.gamma);
+        if forecast.is_finite() {
+            forecast
+        } else {
+            fallback_forecast(history)
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ses_on_constant_series_predicts_constant() {
+        let s = vec![4.0; 30];
+        let mut m = Ets::new(EtsKind::Simple);
+        m.fit(&s).unwrap();
+        assert!((m.predict_next(&s) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ses_picks_high_alpha_for_random_walk_like_data() {
+        // Alternating large jumps: recent value matters most.
+        let mut s = vec![0.0];
+        let mut state = 11u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let step = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            s.push(s.last().unwrap() + step);
+        }
+        let mut m = Ets::new(EtsKind::Simple);
+        m.fit(&s).unwrap();
+        assert!(m.params().0 >= 0.5, "alpha = {}", m.params().0);
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trend() {
+        let s: Vec<f64> = (0..60).map(|t| 3.0 * t as f64 + 5.0).collect();
+        let mut m = Ets::new(EtsKind::Holt);
+        m.fit(&s).unwrap();
+        let pred = m.predict_next(&s);
+        assert!((pred - (3.0 * 60.0 + 5.0)).abs() < 0.5, "pred {pred}");
+    }
+
+    #[test]
+    fn holt_winters_tracks_seasonal_pattern() {
+        let s: Vec<f64> = (0..96)
+            .map(|t| 10.0 + [0.0, 5.0, 8.0, 5.0, 0.0, -5.0, -8.0, -5.0][t % 8])
+            .collect();
+        let mut m = Ets::new(EtsKind::HoltWinters { period: 8 });
+        m.fit(&s).unwrap();
+        let pred = m.predict_next(&s);
+        let truth = 10.0 + 0.0; // t = 96 -> phase 0
+        assert!((pred - truth).abs() < 1.0, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn holt_winters_degrades_gracefully_on_short_history() {
+        let mut m = Ets::new(EtsKind::HoltWinters { period: 12 });
+        let s: Vec<f64> = (0..40).map(|t| t as f64).collect();
+        m.fit(&s).unwrap();
+        // Online: history shorter than 2 periods still forecasts.
+        let pred = m.predict_next(&s[..20]);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn auto_selects_holt_winters_on_seasonal_data() {
+        let s: Vec<f64> = (0..96)
+            .map(|t| 10.0 + [0.0, 6.0, 9.0, 6.0, 0.0, -6.0, -9.0, -6.0][t % 8])
+            .collect();
+        let m = Ets::auto(&s, 8).unwrap();
+        assert!(m.name().starts_with("ETS(HW"), "selected {}", m.name());
+    }
+
+    #[test]
+    fn auto_selects_holt_on_trending_data() {
+        let s: Vec<f64> = (0..80).map(|t| 2.0 * t as f64).collect();
+        let m = Ets::auto(&s, 8).unwrap();
+        assert!(
+            m.name().contains("Holt") || m.name().contains("HW"),
+            "selected {}",
+            m.name()
+        );
+        // Either way it must extrapolate the trend.
+        assert!((m.predict_next(&s) - 160.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn auto_on_too_short_series_errors() {
+        assert!(Ets::auto(&[1.0; 4], 8).is_err());
+    }
+
+    #[test]
+    fn fit_length_requirement() {
+        let mut m = Ets::new(EtsKind::Simple);
+        assert!(m.fit(&[1.0; 5]).is_err());
+        let mut hw = Ets::new(EtsKind::HoltWinters { period: 24 });
+        assert!(hw.fit(&[1.0; 40]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be >= 2")]
+    fn tiny_period_panics() {
+        let _ = Ets::new(EtsKind::HoltWinters { period: 1 });
+    }
+}

@@ -1,0 +1,165 @@
+//! The [`Forecaster`] trait shared by every base model.
+
+/// Errors produced while fitting a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The training series is too short for the model's configuration.
+    SeriesTooShort {
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// An internal numerical routine failed (singular system, no
+    /// convergence, …).
+    Numerical {
+        /// Human-readable context.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::SeriesTooShort { needed, got } => {
+                write!(f, "series too short: need {needed} observations, got {got}")
+            }
+            ModelError::Numerical { context } => write!(f, "numerical failure: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A one-step-ahead univariate forecaster.
+///
+/// The contract mirrors how the paper uses base models:
+///
+/// 1. [`Forecaster::fit`] trains on the (75 %) training prefix once,
+///    offline;
+/// 2. [`Forecaster::predict_next`] is called repeatedly online with the
+///    history observed so far (training values plus any test values already
+///    revealed) and returns the forecast for the next step.
+///
+/// `predict_next` must never panic on short histories — implementations
+/// fall back to the last observed value (or the training mean) when they
+/// cannot produce a proper forecast, because a pool member that panics
+/// would take the whole ensemble down.
+pub trait Forecaster: Send {
+    /// Human-readable unique name, e.g. `"ARIMA(2,1,1)"`.
+    fn name(&self) -> &str;
+
+    /// Fits the model on a training series (oldest first).
+    fn fit(&mut self, series: &[f64]) -> Result<(), ModelError>;
+
+    /// Predicts the value following `history` (oldest first). `history`
+    /// always contains at least one value.
+    fn predict_next(&self, history: &[f64]) -> f64;
+
+    /// Clones the fitted model into a box (object-safe clone).
+    fn box_clone(&self) -> Box<dyn Forecaster>;
+}
+
+impl Clone for Box<dyn Forecaster> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Fallback forecast used by implementations on degenerate input: the last
+/// observed value, or 0.0 for an empty history.
+pub fn fallback_forecast(history: &[f64]) -> f64 {
+    history.last().copied().unwrap_or(0.0)
+}
+
+/// Rolling one-step-ahead forecasts of a fitted model over `test`, given
+/// the preceding `train` history. Returns one forecast per test value; the
+/// true value is revealed to the model after each prediction (the paper's
+/// online evaluation protocol for base models).
+pub fn rolling_forecast(model: &dyn Forecaster, train: &[f64], test: &[f64]) -> Vec<f64> {
+    let mut history = train.to_vec();
+    let mut out = Vec::with_capacity(test.len());
+    for &actual in test {
+        out.push(model.predict_next(&history));
+        history.push(actual);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal forecaster for trait-level tests: predicts the mean of the
+    /// training series.
+    #[derive(Debug, Clone)]
+    struct MeanModel {
+        mean: f64,
+    }
+
+    impl Forecaster for MeanModel {
+        fn name(&self) -> &str {
+            "Mean"
+        }
+
+        fn fit(&mut self, series: &[f64]) -> Result<(), ModelError> {
+            if series.is_empty() {
+                return Err(ModelError::SeriesTooShort { needed: 1, got: 0 });
+            }
+            self.mean = series.iter().sum::<f64>() / series.len() as f64;
+            Ok(())
+        }
+
+        fn predict_next(&self, _history: &[f64]) -> f64 {
+            self.mean
+        }
+
+        fn box_clone(&self) -> Box<dyn Forecaster> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut m = MeanModel { mean: 0.0 };
+        m.fit(&[1.0, 2.0, 3.0]).unwrap();
+        let boxed: Box<dyn Forecaster> = Box::new(m);
+        let cloned = boxed.clone();
+        assert_eq!(cloned.predict_next(&[9.0]), 2.0);
+        assert_eq!(cloned.name(), "Mean");
+    }
+
+    #[test]
+    fn rolling_forecast_reveals_truth_stepwise() {
+        let mut m = MeanModel { mean: 0.0 };
+        m.fit(&[4.0, 4.0]).unwrap();
+        let preds = rolling_forecast(&m, &[4.0, 4.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(preds, vec![4.0, 4.0, 4.0]);
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn fallback_is_last_value() {
+        assert_eq!(fallback_forecast(&[1.0, 7.0]), 7.0);
+        assert_eq!(fallback_forecast(&[]), 0.0);
+    }
+
+    #[test]
+    fn fit_error_on_empty_series() {
+        let mut m = MeanModel { mean: 0.0 };
+        assert!(matches!(
+            m.fit(&[]),
+            Err(ModelError::SeriesTooShort { needed: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ModelError::SeriesTooShort { needed: 10, got: 3 };
+        assert!(e.to_string().contains("10"));
+        let e2 = ModelError::Numerical {
+            context: "singular gram".into(),
+        };
+        assert!(e2.to_string().contains("singular gram"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Autoregressive forecasting via (ridge-)regularized linear regression.
+
+use crate::forecaster::ModelError;
+use crate::tabular::{TabularModel, Windowed};
+use eadrl_linalg::{ridge, Matrix};
+
+/// Ridge linear regression with intercept over embedded windows.
+#[derive(Debug, Clone)]
+pub struct RidgeRegressor {
+    lambda: f64,
+    /// `[intercept, coef_1, …, coef_k]` after fitting.
+    beta: Vec<f64>,
+}
+
+impl RidgeRegressor {
+    /// Creates an unfitted regressor with regularization strength `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        RidgeRegressor {
+            lambda: lambda.max(0.0),
+            beta: Vec::new(),
+        }
+    }
+
+    /// Fitted coefficients (`[intercept, coefs…]`), empty before fitting.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.beta
+    }
+}
+
+impl TabularModel for RidgeRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() {
+            return Err(ModelError::SeriesTooShort { needed: 1, got: 0 });
+        }
+        // Design matrix with a leading 1 column for the intercept.
+        let rows: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| {
+                let mut r = Vec::with_capacity(x.len() + 1);
+                r.push(1.0);
+                r.extend_from_slice(x);
+                r
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        self.beta = ridge(&x, targets, self.lambda).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        if self.beta.is_empty() {
+            return 0.0;
+        }
+        self.beta[0]
+            + self.beta[1..]
+                .iter()
+                .zip(input.iter())
+                .map(|(b, x)| b * x)
+                .sum::<f64>()
+    }
+}
+
+/// An autoregressive forecaster `AR(k)` fitted by ridge regression.
+pub fn auto_regressive(k: usize, lambda: f64) -> Windowed<RidgeRegressor> {
+    Windowed::new(
+        format!("AR({k},λ={lambda})"),
+        k,
+        RidgeRegressor::new(lambda),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Forecaster;
+
+    #[test]
+    fn fits_linear_recurrence_exactly() {
+        // x_t = 0.5 x_{t-1} + 0.25 x_{t-2} + 1
+        let mut s = vec![1.0, 2.0];
+        for t in 2..80 {
+            s.push(0.5 * s[t - 1] + 0.25 * s[t - 2] + 1.0);
+        }
+        let mut m = auto_regressive(2, 0.0);
+        m.fit(&s).unwrap();
+        let pred = m.predict_next(&s);
+        let truth = 0.5 * s[79] + 0.25 * s[78] + 1.0;
+        assert!((pred - truth).abs() < 1e-6, "{pred} vs {truth}");
+    }
+
+    #[test]
+    fn ridge_survives_constant_series() {
+        let s = vec![3.0; 50];
+        let mut m = auto_regressive(5, 1e-3);
+        m.fit(&s).unwrap();
+        assert!((m.predict_next(&s) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unfitted_regressor_predicts_zero() {
+        let r = RidgeRegressor::new(0.1);
+        assert_eq!(r.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn coefficients_exposed_after_fit() {
+        let mut r = RidgeRegressor::new(0.0);
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| 2.0 * i as f64 + 1.0).collect();
+        r.fit(&inputs, &targets).unwrap();
+        assert!((r.coefficients()[0] - 1.0).abs() < 1e-8);
+        assert!((r.coefficients()[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_fit_is_error() {
+        let mut r = RidgeRegressor::new(0.0);
+        assert!(r.fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Naive benchmark forecasters.
+//!
+//! Not members of the paper's 43-model pool, but indispensable as sanity
+//! baselines in tests and examples (a pool model that cannot beat the naive
+//! forecast on a random walk is suspect).
+
+use crate::forecaster::{fallback_forecast, Forecaster, ModelError};
+
+/// Predicts the last observed value (optimal for a pure random walk).
+#[derive(Debug, Clone, Default)]
+pub struct Naive;
+
+impl Forecaster for Naive {
+    fn name(&self) -> &str {
+        "Naive"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ModelError> {
+        if series.is_empty() {
+            return Err(ModelError::SeriesTooShort { needed: 1, got: 0 });
+        }
+        Ok(())
+    }
+
+    fn predict_next(&self, history: &[f64]) -> f64 {
+        fallback_forecast(history)
+    }
+
+    fn box_clone(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+/// Predicts the value one full season ago.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naive forecaster with the given period.
+    ///
+    /// # Panics
+    /// Panics when `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "seasonal period must be positive");
+        SeasonalNaive { period }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &str {
+        "SeasonalNaive"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ModelError> {
+        if series.len() < self.period {
+            return Err(ModelError::SeriesTooShort {
+                needed: self.period,
+                got: series.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn predict_next(&self, history: &[f64]) -> f64 {
+        if history.len() >= self.period {
+            history[history.len() - self.period]
+        } else {
+            fallback_forecast(history)
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+/// Random-walk-with-drift forecast: last value plus the average first
+/// difference of the training series.
+#[derive(Debug, Clone, Default)]
+pub struct DriftNaive {
+    drift: f64,
+}
+
+impl Forecaster for DriftNaive {
+    fn name(&self) -> &str {
+        "DriftNaive"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ModelError> {
+        if series.len() < 2 {
+            return Err(ModelError::SeriesTooShort {
+                needed: 2,
+                got: series.len(),
+            });
+        }
+        self.drift = (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64;
+        Ok(())
+    }
+
+    fn predict_next(&self, history: &[f64]) -> f64 {
+        fallback_forecast(history) + self.drift
+    }
+
+    fn box_clone(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_predicts_last() {
+        let mut m = Naive;
+        m.fit(&[1.0, 2.0]).unwrap();
+        assert_eq!(m.predict_next(&[5.0, 9.0]), 9.0);
+    }
+
+    #[test]
+    fn seasonal_naive_looks_back_one_period() {
+        let mut m = SeasonalNaive::new(3);
+        m.fit(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        // history ...: period 3 back from next = index len-3
+        assert_eq!(m.predict_next(&[10.0, 20.0, 30.0, 40.0]), 20.0);
+    }
+
+    #[test]
+    fn seasonal_naive_falls_back_when_history_short() {
+        let m = SeasonalNaive::new(5);
+        assert_eq!(m.predict_next(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn drift_extends_trend() {
+        let mut m = DriftNaive::default();
+        m.fit(&[0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert!((m.predict_next(&[0.0, 1.0, 2.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_length_requirements() {
+        assert!(Naive.fit(&[]).is_err());
+        assert!(SeasonalNaive::new(4).fit(&[1.0, 2.0]).is_err());
+        assert!(DriftNaive::default().fit(&[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = SeasonalNaive::new(0);
+    }
+}

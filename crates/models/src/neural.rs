@@ -1,0 +1,792 @@
+//! Neural base forecasters: MLP, LSTM, Bi-LSTM, CNN-LSTM and Conv-LSTM.
+//!
+//! All five families from the paper's pool are trained the same way: Adam
+//! on mini-batches of embedded windows, a fixed epoch budget, seeded
+//! initialization. Windows arrive already z-scored via
+//! [`crate::tabular::Windowed`], so no internal scaling is needed.
+//!
+//! Faithfulness note (documented in `DESIGN.md`): Conv-LSTM is implemented
+//! as an LSTM over overlapping *patches* of the window — the input-to-state
+//! transition sees a local receptive field per step, which is the
+//! convolutional-locality property that distinguishes Conv-LSTM from plain
+//! LSTM on univariate windows. CNN-LSTM is the literal composition
+//! Conv1d → LSTM → linear head with end-to-end backprop.
+
+use crate::forecaster::ModelError;
+use crate::tabular::{TabularModel, Windowed};
+use eadrl_nn::{
+    mse_loss_grad, Activation, Adam, BiLstm, Conv1d, Dense, Lstm, Mlp, Network, Optimizer,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BATCH: usize = 16;
+
+fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// MLP regressor over windows (paper family **MLP**).
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    hidden: Vec<usize>,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    net: Option<Mlp>,
+}
+
+impl MlpRegressor {
+    /// Creates an unfitted MLP with the given hidden-layer sizes.
+    pub fn new(hidden: Vec<usize>, epochs: usize, lr: f64, seed: u64) -> Self {
+        MlpRegressor {
+            hidden,
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            net: None,
+        }
+    }
+}
+
+impl TabularModel for MlpRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sizes = vec![inputs[0].len()];
+        sizes.extend(&self.hidden);
+        sizes.push(1);
+        let mut net = Mlp::new(&mut rng, &sizes, Activation::Relu, Activation::Identity);
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let order = shuffled_indices(inputs.len(), &mut rng);
+            for chunk in order.chunks(BATCH) {
+                net.zero_grad();
+                for &i in chunk {
+                    let y = net.forward(&inputs[i]);
+                    let g = mse_loss_grad(&y, &[targets[i]]);
+                    net.backward(&g);
+                }
+                net.clip_grad_norm(5.0);
+                opt.step(&mut net);
+            }
+        }
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        self.net
+            .as_ref()
+            .map_or(0.0, |n| n.forward_inference(input)[0])
+    }
+}
+
+/// Turns a window into a sequence of 1-dimensional inputs.
+fn window_to_seq(window: &[f64]) -> Vec<Vec<f64>> {
+    window.iter().map(|&v| vec![v]).collect()
+}
+
+/// Turns a window into overlapping patches of width `patch` (stride 1).
+fn window_to_patches(window: &[f64], patch: usize) -> Vec<Vec<f64>> {
+    if window.len() < patch {
+        return vec![window.to_vec()];
+    }
+    (0..=window.len() - patch)
+        .map(|i| window[i..i + patch].to_vec())
+        .collect()
+}
+
+/// LSTM regressor (paper family **LSTM**): LSTM over the window as a
+/// length-k sequence, linear head on the final hidden state.
+#[derive(Debug, Clone)]
+pub struct LstmRegressor {
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    lstm: Option<Lstm>,
+    head: Option<Dense>,
+}
+
+impl LstmRegressor {
+    /// Creates an unfitted LSTM regressor.
+    pub fn new(hidden: usize, epochs: usize, lr: f64, seed: u64) -> Self {
+        LstmRegressor {
+            hidden: hidden.max(1),
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            lstm: None,
+            head: None,
+        }
+    }
+}
+
+impl Network for LstmRegressor {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        if let (Some(lstm), Some(head)) = (self.lstm.as_mut(), self.head.as_mut()) {
+            lstm.visit_params(f);
+            head.visit_params(f);
+        }
+    }
+}
+
+impl TabularModel for LstmRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.lstm = Some(Lstm::new(&mut rng, 1, self.hidden));
+        self.head = Some(Dense::new(&mut rng, self.hidden, 1, Activation::Identity));
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let order = shuffled_indices(inputs.len(), &mut rng);
+            for chunk in order.chunks(BATCH) {
+                self.zero_grad();
+                for &i in chunk {
+                    let seq = window_to_seq(&inputs[i]);
+                    let h = self
+                        .lstm
+                        .as_mut()
+                        .expect("initialized")
+                        .forward_sequence(&seq);
+                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let g = mse_loss_grad(&y, &[targets[i]]);
+                    let gh = self.head.as_mut().expect("initialized").backward(&g);
+                    self.lstm.as_mut().expect("initialized").backward_last(&gh);
+                }
+                self.clip_grad_norm(5.0);
+                opt.step(self);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        let (Some(lstm), Some(head)) = (self.lstm.as_ref(), self.head.as_ref()) else {
+            return 0.0;
+        };
+        let h = lstm.forward_inference(&window_to_seq(input));
+        head.forward_inference(&h)[0]
+    }
+}
+
+/// Bi-LSTM regressor (paper family **Bi-LSTM**).
+#[derive(Debug, Clone)]
+pub struct BiLstmRegressor {
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    bilstm: Option<BiLstm>,
+    head: Option<Dense>,
+}
+
+impl BiLstmRegressor {
+    /// Creates an unfitted Bi-LSTM regressor (each direction `hidden` wide).
+    pub fn new(hidden: usize, epochs: usize, lr: f64, seed: u64) -> Self {
+        BiLstmRegressor {
+            hidden: hidden.max(1),
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            bilstm: None,
+            head: None,
+        }
+    }
+}
+
+impl Network for BiLstmRegressor {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        if let (Some(b), Some(head)) = (self.bilstm.as_mut(), self.head.as_mut()) {
+            b.visit_params(f);
+            head.visit_params(f);
+        }
+    }
+}
+
+impl TabularModel for BiLstmRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.bilstm = Some(BiLstm::new(&mut rng, 1, self.hidden));
+        self.head = Some(Dense::new(
+            &mut rng,
+            2 * self.hidden,
+            1,
+            Activation::Identity,
+        ));
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let order = shuffled_indices(inputs.len(), &mut rng);
+            for chunk in order.chunks(BATCH) {
+                self.zero_grad();
+                for &i in chunk {
+                    let seq = window_to_seq(&inputs[i]);
+                    let h = self
+                        .bilstm
+                        .as_mut()
+                        .expect("initialized")
+                        .forward_sequence(&seq);
+                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let g = mse_loss_grad(&y, &[targets[i]]);
+                    let gh = self.head.as_mut().expect("initialized").backward(&g);
+                    self.bilstm
+                        .as_mut()
+                        .expect("initialized")
+                        .backward_last(&gh);
+                }
+                self.clip_grad_norm(5.0);
+                opt.step(self);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        let (Some(b), Some(head)) = (self.bilstm.as_ref(), self.head.as_ref()) else {
+            return 0.0;
+        };
+        let h = b.forward_inference(&window_to_seq(input));
+        head.forward_inference(&h)[0]
+    }
+}
+
+/// CNN-LSTM regressor (paper family **CNN-LSTM**): Conv1d features over the
+/// window, LSTM over the feature sequence, linear head.
+#[derive(Debug, Clone)]
+pub struct CnnLstmRegressor {
+    channels: usize,
+    kernel: usize,
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    conv: Option<Conv1d>,
+    lstm: Option<Lstm>,
+    head: Option<Dense>,
+}
+
+impl CnnLstmRegressor {
+    /// Creates an unfitted CNN-LSTM.
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        hidden: usize,
+        epochs: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Self {
+        CnnLstmRegressor {
+            channels: channels.max(1),
+            kernel: kernel.max(1),
+            hidden: hidden.max(1),
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            conv: None,
+            lstm: None,
+            head: None,
+        }
+    }
+
+    /// Conv output (channel-major) reshaped to a time-major sequence.
+    fn conv_to_seq(conv_out: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let steps = conv_out.first().map_or(0, Vec::len);
+        (0..steps)
+            .map(|t| conv_out.iter().map(|ch| ch[t]).collect())
+            .collect()
+    }
+
+    /// Time-major gradient sequence reshaped back to channel-major.
+    fn seq_grad_to_conv(grads: &[Vec<f64>], channels: usize) -> Vec<Vec<f64>> {
+        (0..channels)
+            .map(|c| grads.iter().map(|g| g[c]).collect())
+            .collect()
+    }
+}
+
+impl Network for CnnLstmRegressor {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        if let (Some(conv), Some(lstm), Some(head)) =
+            (self.conv.as_mut(), self.lstm.as_mut(), self.head.as_mut())
+        {
+            conv.visit_params(f);
+            lstm.visit_params(f);
+            head.visit_params(f);
+        }
+    }
+}
+
+impl TabularModel for CnnLstmRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let window = inputs[0].len();
+        if window < self.kernel {
+            return Err(ModelError::Numerical {
+                context: format!("window {window} shorter than conv kernel {}", self.kernel),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.conv = Some(Conv1d::new(
+            &mut rng,
+            1,
+            self.channels,
+            self.kernel,
+            Activation::Relu,
+        ));
+        self.lstm = Some(Lstm::new(&mut rng, self.channels, self.hidden));
+        self.head = Some(Dense::new(&mut rng, self.hidden, 1, Activation::Identity));
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let order = shuffled_indices(inputs.len(), &mut rng);
+            for chunk in order.chunks(BATCH) {
+                self.zero_grad();
+                for &i in chunk {
+                    let conv_out = self
+                        .conv
+                        .as_mut()
+                        .expect("initialized")
+                        .forward(&[inputs[i].clone()]);
+                    let seq = Self::conv_to_seq(&conv_out);
+                    let h = self
+                        .lstm
+                        .as_mut()
+                        .expect("initialized")
+                        .forward_sequence(&seq);
+                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let g = mse_loss_grad(&y, &[targets[i]]);
+                    let gh = self.head.as_mut().expect("initialized").backward(&g);
+                    let gseq = self.lstm.as_mut().expect("initialized").backward_last(&gh);
+                    let gconv = Self::seq_grad_to_conv(&gseq, self.channels);
+                    self.conv.as_mut().expect("initialized").backward(&gconv);
+                }
+                self.clip_grad_norm(5.0);
+                opt.step(self);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        let (Some(conv), Some(lstm), Some(head)) =
+            (self.conv.as_ref(), self.lstm.as_ref(), self.head.as_ref())
+        else {
+            return 0.0;
+        };
+        let conv_out = conv.forward_inference(&[input.to_vec()]);
+        let seq = Self::conv_to_seq(&conv_out);
+        let h = lstm.forward_inference(&seq);
+        head.forward_inference(&h)[0]
+    }
+}
+
+/// Conv-LSTM regressor (paper family **Conv-LSTM**): LSTM over overlapping
+/// width-`patch` slices of the window, so every input-to-state transition
+/// has a local receptive field.
+#[derive(Debug, Clone)]
+pub struct ConvLstmRegressor {
+    patch: usize,
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    lstm: Option<Lstm>,
+    head: Option<Dense>,
+}
+
+impl ConvLstmRegressor {
+    /// Creates an unfitted Conv-LSTM regressor.
+    pub fn new(patch: usize, hidden: usize, epochs: usize, lr: f64, seed: u64) -> Self {
+        ConvLstmRegressor {
+            patch: patch.max(1),
+            hidden: hidden.max(1),
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            lstm: None,
+            head: None,
+        }
+    }
+}
+
+impl Network for ConvLstmRegressor {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        if let (Some(lstm), Some(head)) = (self.lstm.as_mut(), self.head.as_mut()) {
+            lstm.visit_params(f);
+            head.visit_params(f);
+        }
+    }
+}
+
+impl TabularModel for ConvLstmRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let in_dim = self.patch.min(inputs[0].len());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.lstm = Some(Lstm::new(&mut rng, in_dim, self.hidden));
+        self.head = Some(Dense::new(&mut rng, self.hidden, 1, Activation::Identity));
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let order = shuffled_indices(inputs.len(), &mut rng);
+            for chunk in order.chunks(BATCH) {
+                self.zero_grad();
+                for &i in chunk {
+                    let seq = window_to_patches(&inputs[i], in_dim);
+                    let h = self
+                        .lstm
+                        .as_mut()
+                        .expect("initialized")
+                        .forward_sequence(&seq);
+                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let g = mse_loss_grad(&y, &[targets[i]]);
+                    let gh = self.head.as_mut().expect("initialized").backward(&g);
+                    self.lstm.as_mut().expect("initialized").backward_last(&gh);
+                }
+                self.clip_grad_norm(5.0);
+                opt.step(self);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        let (Some(lstm), Some(head)) = (self.lstm.as_ref(), self.head.as_ref()) else {
+            return 0.0;
+        };
+        let in_dim = lstm.in_dim();
+        let h = lstm.forward_inference(&window_to_patches(input, in_dim));
+        head.forward_inference(&h)[0]
+    }
+}
+
+/// Stacked-LSTM regressor (the paper's **StLSTM** baseline): two LSTM
+/// layers — the full hidden sequence of the first feeds the second — with a
+/// linear head on the second layer's final hidden state. The paper frames
+/// this as "an ensemble of LSTMs combined using a cascading approach".
+#[derive(Debug, Clone)]
+pub struct StackedLstmRegressor {
+    hidden1: usize,
+    hidden2: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    lstm1: Option<Lstm>,
+    lstm2: Option<Lstm>,
+    head: Option<Dense>,
+}
+
+impl StackedLstmRegressor {
+    /// Creates an unfitted two-layer stacked LSTM.
+    pub fn new(hidden1: usize, hidden2: usize, epochs: usize, lr: f64, seed: u64) -> Self {
+        StackedLstmRegressor {
+            hidden1: hidden1.max(1),
+            hidden2: hidden2.max(1),
+            epochs: epochs.max(1),
+            lr,
+            seed,
+            lstm1: None,
+            lstm2: None,
+            head: None,
+        }
+    }
+}
+
+impl Network for StackedLstmRegressor {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        if let (Some(l1), Some(l2), Some(head)) =
+            (self.lstm1.as_mut(), self.lstm2.as_mut(), self.head.as_mut())
+        {
+            l1.visit_params(f);
+            l2.visit_params(f);
+            head.visit_params(f);
+        }
+    }
+}
+
+impl TabularModel for StackedLstmRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.lstm1 = Some(Lstm::new(&mut rng, 1, self.hidden1));
+        self.lstm2 = Some(Lstm::new(&mut rng, self.hidden1, self.hidden2));
+        self.head = Some(Dense::new(&mut rng, self.hidden2, 1, Activation::Identity));
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let order = shuffled_indices(inputs.len(), &mut rng);
+            for chunk in order.chunks(BATCH) {
+                self.zero_grad();
+                for &i in chunk {
+                    let seq = window_to_seq(&inputs[i]);
+                    let hs1 = self
+                        .lstm1
+                        .as_mut()
+                        .expect("initialized")
+                        .forward_sequence_full(&seq);
+                    let h2 = self
+                        .lstm2
+                        .as_mut()
+                        .expect("initialized")
+                        .forward_sequence(&hs1);
+                    let y = self.head.as_mut().expect("initialized").forward(&h2);
+                    let g = mse_loss_grad(&y, &[targets[i]]);
+                    let gh2 = self.head.as_mut().expect("initialized").backward(&g);
+                    let gh1 = self
+                        .lstm2
+                        .as_mut()
+                        .expect("initialized")
+                        .backward_last(&gh2);
+                    self.lstm1
+                        .as_mut()
+                        .expect("initialized")
+                        .backward_full(&gh1);
+                }
+                self.clip_grad_norm(5.0);
+                opt.step(self);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        let (Some(l1), Some(l2), Some(head)) =
+            (self.lstm1.as_ref(), self.lstm2.as_ref(), self.head.as_ref())
+        else {
+            return 0.0;
+        };
+        let hs1 = l1.forward_inference_full(&window_to_seq(input));
+        let h2 = l2.forward_inference(&hs1);
+        head.forward_inference(&h2)[0]
+    }
+}
+
+/// An MLP forecaster over embedded windows.
+pub fn mlp_forecaster(
+    k: usize,
+    hidden: Vec<usize>,
+    epochs: usize,
+    seed: u64,
+) -> Windowed<MlpRegressor> {
+    Windowed::new(
+        format!("MLP({hidden:?})"),
+        k,
+        MlpRegressor::new(hidden, epochs, 0.01, seed),
+    )
+}
+
+/// An LSTM forecaster over embedded windows.
+pub fn lstm_forecaster(
+    k: usize,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Windowed<LstmRegressor> {
+    Windowed::new(
+        format!("LSTM(h={hidden})"),
+        k,
+        LstmRegressor::new(hidden, epochs, 0.01, seed),
+    )
+}
+
+/// A Bi-LSTM forecaster over embedded windows.
+pub fn bilstm_forecaster(
+    k: usize,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Windowed<BiLstmRegressor> {
+    Windowed::new(
+        format!("BiLSTM(h={hidden})"),
+        k,
+        BiLstmRegressor::new(hidden, epochs, 0.01, seed),
+    )
+}
+
+/// A stacked-LSTM forecaster over embedded windows (paper baseline
+/// **StLSTM**).
+pub fn stacked_lstm_forecaster(
+    k: usize,
+    hidden1: usize,
+    hidden2: usize,
+    epochs: usize,
+    seed: u64,
+) -> Windowed<StackedLstmRegressor> {
+    Windowed::new(
+        format!("StLSTM(h={hidden1},{hidden2})"),
+        k,
+        StackedLstmRegressor::new(hidden1, hidden2, epochs, 0.01, seed),
+    )
+}
+
+/// A CNN-LSTM forecaster over embedded windows.
+pub fn cnn_lstm_forecaster(
+    k: usize,
+    channels: usize,
+    kernel: usize,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Windowed<CnnLstmRegressor> {
+    Windowed::new(
+        format!("CNN-LSTM(c={channels},k={kernel},h={hidden})"),
+        k,
+        CnnLstmRegressor::new(channels, kernel, hidden, epochs, 0.01, seed),
+    )
+}
+
+/// A Conv-LSTM forecaster over embedded windows.
+pub fn conv_lstm_forecaster(
+    k: usize,
+    patch: usize,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Windowed<ConvLstmRegressor> {
+    Windowed::new(
+        format!("Conv-LSTM(p={patch},h={hidden})"),
+        k,
+        ConvLstmRegressor::new(patch, hidden, epochs, 0.01, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Forecaster;
+
+    fn sine_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 3.0 + 10.0)
+            .collect()
+    }
+
+    #[test]
+    fn mlp_learns_sine_continuation() {
+        let s = sine_series(220);
+        let mut m = mlp_forecaster(5, vec![16], 60, 1);
+        m.fit(&s).unwrap();
+        let truth = (2.0 * std::f64::consts::PI * 220.0 / 12.0).sin() * 3.0 + 10.0;
+        let pred = m.predict_next(&s);
+        assert!((pred - truth).abs() < 1.0, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn lstm_learns_sine_continuation() {
+        let s = sine_series(200);
+        let mut m = lstm_forecaster(5, 8, 40, 2);
+        m.fit(&s).unwrap();
+        let truth = (2.0 * std::f64::consts::PI * 200.0 / 12.0).sin() * 3.0 + 10.0;
+        let pred = m.predict_next(&s);
+        assert!((pred - truth).abs() < 1.2, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn bilstm_runs_and_is_deterministic() {
+        let s = sine_series(150);
+        let mut a = bilstm_forecaster(5, 6, 15, 3);
+        let mut b = bilstm_forecaster(5, 6, 15, 3);
+        a.fit(&s).unwrap();
+        b.fit(&s).unwrap();
+        assert_eq!(a.predict_next(&s), b.predict_next(&s));
+        assert!(a.predict_next(&s).is_finite());
+    }
+
+    #[test]
+    fn cnn_lstm_learns_sine() {
+        let s = sine_series(200);
+        let mut m = cnn_lstm_forecaster(5, 4, 2, 8, 40, 4);
+        m.fit(&s).unwrap();
+        let truth = (2.0 * std::f64::consts::PI * 200.0 / 12.0).sin() * 3.0 + 10.0;
+        let pred = m.predict_next(&s);
+        assert!((pred - truth).abs() < 1.5, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn conv_lstm_learns_sine() {
+        let s = sine_series(200);
+        let mut m = conv_lstm_forecaster(5, 3, 8, 40, 5);
+        m.fit(&s).unwrap();
+        let truth = (2.0 * std::f64::consts::PI * 200.0 / 12.0).sin() * 3.0 + 10.0;
+        let pred = m.predict_next(&s);
+        assert!((pred - truth).abs() < 1.5, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn stacked_lstm_learns_sine() {
+        let s = sine_series(200);
+        let mut m = stacked_lstm_forecaster(5, 8, 8, 40, 6);
+        m.fit(&s).unwrap();
+        let truth = (2.0 * std::f64::consts::PI * 200.0 / 12.0).sin() * 3.0 + 10.0;
+        let pred = m.predict_next(&s);
+        assert!((pred - truth).abs() < 1.5, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn kernel_larger_than_window_is_fit_error() {
+        let s = sine_series(100);
+        let mut m = Windowed::new("bad", 3, CnnLstmRegressor::new(2, 5, 4, 5, 0.01, 0));
+        assert!(m.fit(&s).is_err());
+    }
+
+    #[test]
+    fn patches_cover_window() {
+        let p = window_to_patches(&[1.0, 2.0, 3.0, 4.0], 3);
+        assert_eq!(p, vec![vec![1.0, 2.0, 3.0], vec![2.0, 3.0, 4.0]]);
+        // Patch wider than window degrades to the whole window.
+        let q = window_to_patches(&[1.0, 2.0], 5);
+        assert_eq!(q, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn unfitted_models_predict_zero() {
+        assert_eq!(
+            MlpRegressor::new(vec![4], 5, 0.01, 0).predict(&[1.0; 5]),
+            0.0
+        );
+        assert_eq!(LstmRegressor::new(4, 5, 0.01, 0).predict(&[1.0; 5]), 0.0);
+        assert_eq!(BiLstmRegressor::new(4, 5, 0.01, 0).predict(&[1.0; 5]), 0.0);
+        assert_eq!(
+            CnnLstmRegressor::new(2, 2, 4, 5, 0.01, 0).predict(&[1.0; 5]),
+            0.0
+        );
+        assert_eq!(
+            ConvLstmRegressor::new(2, 4, 5, 0.01, 0).predict(&[1.0; 5]),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Principal-component regression.
+
+use crate::forecaster::ModelError;
+use crate::tabular::{TabularModel, Windowed};
+use eadrl_linalg::{lstsq, Matrix, Pca};
+
+/// PCR: project inputs onto the top principal components, then ordinary
+/// least squares in the reduced space.
+#[derive(Debug, Clone)]
+pub struct PcrRegressor {
+    n_components: usize,
+    pca: Option<Pca>,
+    /// `[intercept, coef per component]`.
+    coef: Vec<f64>,
+}
+
+impl PcrRegressor {
+    /// Creates an unfitted PCR model keeping `n_components` components.
+    pub fn new(n_components: usize) -> Self {
+        PcrRegressor {
+            n_components: n_components.max(1),
+            pca: None,
+            coef: Vec::new(),
+        }
+    }
+}
+
+impl TabularModel for PcrRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.len() < 3 || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 3,
+                got: inputs.len(),
+            });
+        }
+        let x = Matrix::from_rows(inputs).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        let pca = Pca::fit(&x, self.n_components).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        let scores = pca.transform(&x).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        // Design = [1 | scores].
+        let rows: Vec<Vec<f64>> = (0..scores.rows())
+            .map(|i| {
+                let mut r = Vec::with_capacity(scores.cols() + 1);
+                r.push(1.0);
+                r.extend_from_slice(scores.row(i));
+                r
+            })
+            .collect();
+        let design = Matrix::from_rows(&rows).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        self.coef = lstsq(&design, targets).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        self.pca = Some(pca);
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        let Some(pca) = &self.pca else { return 0.0 };
+        let Ok(score) = pca.transform_one(input) else {
+            return 0.0;
+        };
+        self.coef[0]
+            + self.coef[1..]
+                .iter()
+                .zip(score.iter())
+                .map(|(c, s)| c * s)
+                .sum::<f64>()
+    }
+}
+
+/// A PCR forecaster over embedded windows (paper family **PCMR**).
+pub fn pcr(k: usize, n_components: usize) -> Windowed<PcrRegressor> {
+    Windowed::new(
+        format!("PCR(c={n_components})"),
+        k,
+        PcrRegressor::new(n_components),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Forecaster;
+
+    #[test]
+    fn full_rank_pcr_matches_linear_fit() {
+        // With all components retained, PCR == OLS.
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 * 0.2, ((i * 3) % 7) as f64])
+            .collect();
+        let targets: Vec<f64> = inputs
+            .iter()
+            .map(|x| 2.0 * x[0] - 0.5 * x[1] + 1.0)
+            .collect();
+        let mut m = PcrRegressor::new(2);
+        m.fit(&inputs, &targets).unwrap();
+        for (x, t) in inputs.iter().zip(targets.iter()).step_by(7) {
+            assert!((m.predict(x) - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn one_component_handles_collinearity() {
+        // x1 = 2 x0 exactly: OLS normal equations would be singular.
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let targets: Vec<f64> = (0..30).map(|i| 3.0 * i as f64 + 2.0).collect();
+        let mut m = PcrRegressor::new(1);
+        m.fit(&inputs, &targets).unwrap();
+        for (x, t) in inputs.iter().zip(targets.iter()).step_by(9) {
+            assert!((m.predict(x) - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pcr_forecaster_on_ar_series() {
+        let mut s = vec![1.0, 2.0];
+        for t in 2..150 {
+            s.push(0.6 * s[t - 1] + 0.3 * s[t - 2] + 0.5);
+        }
+        let mut m = pcr(5, 3);
+        m.fit(&s).unwrap();
+        let truth = 0.6 * s[149] + 0.3 * s[148] + 0.5;
+        assert!((m.predict_next(&s) - truth).abs() < 0.2);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let m = PcrRegressor::new(2);
+        assert_eq!(m.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn too_few_samples_is_error() {
+        let mut m = PcrRegressor::new(1);
+        assert!(m.fit(&[vec![1.0]], &[1.0]).is_err());
+    }
+}

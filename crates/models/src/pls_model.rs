@@ -1,0 +1,101 @@
+//! Partial-least-squares forecaster (wraps `eadrl_linalg::PlsModel`).
+
+use crate::forecaster::ModelError;
+use crate::tabular::{TabularModel, Windowed};
+use eadrl_linalg::{Matrix, PlsModel};
+
+/// PLS1 regression as a tabular model.
+#[derive(Debug, Clone)]
+pub struct PlsRegressor {
+    n_components: usize,
+    model: Option<PlsModel>,
+}
+
+impl PlsRegressor {
+    /// Creates an unfitted PLS regressor with `n_components` latent
+    /// components.
+    pub fn new(n_components: usize) -> Self {
+        PlsRegressor {
+            n_components: n_components.max(1),
+            model: None,
+        }
+    }
+}
+
+impl TabularModel for PlsRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.len() < 2 || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 2,
+                got: inputs.len(),
+            });
+        }
+        let x = Matrix::from_rows(inputs).map_err(|e| ModelError::Numerical {
+            context: e.to_string(),
+        })?;
+        let model =
+            PlsModel::fit(&x, targets, self.n_components).map_err(|e| ModelError::Numerical {
+                context: e.to_string(),
+            })?;
+        self.model = Some(model);
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        self.model
+            .as_ref()
+            .and_then(|m| m.predict_one(input).ok())
+            .unwrap_or(0.0)
+    }
+}
+
+/// A PLS forecaster over embedded windows (paper family **PLS**).
+pub fn pls(k: usize, n_components: usize) -> Windowed<PlsRegressor> {
+    Windowed::new(
+        format!("PLS(c={n_components})"),
+        k,
+        PlsRegressor::new(n_components),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Forecaster;
+
+    #[test]
+    fn fits_linear_relation() {
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 * 0.1, ((i * 5) % 9) as f64 * 0.3])
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| x[0] - 2.0 * x[1] + 4.0).collect();
+        let mut m = PlsRegressor::new(2);
+        m.fit(&inputs, &targets).unwrap();
+        for (x, t) in inputs.iter().zip(targets.iter()).step_by(7) {
+            assert!((m.predict(x) - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pls_forecaster_on_ar_series() {
+        let mut s = vec![0.5, 1.0];
+        for t in 2..140 {
+            s.push(0.7 * s[t - 1] + 0.2 * s[t - 2] + 0.3);
+        }
+        let mut m = pls(5, 2);
+        m.fit(&s).unwrap();
+        let truth = 0.7 * s[139] + 0.2 * s[138] + 0.3;
+        assert!((m.predict_next(&s) - truth).abs() < 0.2);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        assert_eq!(PlsRegressor::new(1).predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn too_few_samples_is_error() {
+        let mut m = PlsRegressor::new(1);
+        assert!(m.fit(&[vec![1.0]], &[1.0]).is_err());
+    }
+}

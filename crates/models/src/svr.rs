@@ -1,0 +1,277 @@
+//! Support-vector regression trained in the primal by SGD, with an
+//! optional random-Fourier-feature map approximating the RBF kernel.
+
+use crate::forecaster::ModelError;
+use crate::tabular::{TabularModel, Windowed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Feature map applied before the linear SVR.
+#[derive(Debug, Clone)]
+enum FeatureMap {
+    /// Raw features (linear SVR).
+    Linear,
+    /// Random Fourier features `√(2/D) cos(ω·x + b)` approximating the RBF
+    /// kernel `exp(-γ ||a-b||²)` (Rahimi & Recht).
+    Rff {
+        gamma: f64,
+        n_features: usize,
+        seed: u64,
+        omegas: Vec<Vec<f64>>,
+        phases: Vec<f64>,
+    },
+}
+
+/// ε-insensitive SVR in the primal:
+/// `min ½||w||² + C Σ max(0, |y - w·φ(x) - b| - ε)`,
+/// optimized by epoch-shuffled subgradient descent.
+#[derive(Debug, Clone)]
+pub struct SvrRegressor {
+    c: f64,
+    epsilon: f64,
+    epochs: usize,
+    map: FeatureMap,
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl SvrRegressor {
+    /// Linear SVR.
+    pub fn linear(c: f64, epsilon: f64) -> Self {
+        SvrRegressor {
+            c: c.max(1e-6),
+            epsilon: epsilon.max(0.0),
+            epochs: 60,
+            map: FeatureMap::Linear,
+            w: Vec::new(),
+            b: 0.0,
+        }
+    }
+
+    /// RBF-kernel SVR via `n_features` random Fourier features with kernel
+    /// width `gamma`.
+    pub fn rbf(c: f64, epsilon: f64, gamma: f64, n_features: usize, seed: u64) -> Self {
+        SvrRegressor {
+            c: c.max(1e-6),
+            epsilon: epsilon.max(0.0),
+            epochs: 60,
+            map: FeatureMap::Rff {
+                gamma: gamma.max(1e-9),
+                n_features: n_features.max(4),
+                seed,
+                omegas: Vec::new(),
+                phases: Vec::new(),
+            },
+            w: Vec::new(),
+            b: 0.0,
+        }
+    }
+
+    fn features(&self, input: &[f64]) -> Vec<f64> {
+        match &self.map {
+            FeatureMap::Linear => input.to_vec(),
+            FeatureMap::Rff {
+                omegas,
+                phases,
+                n_features,
+                ..
+            } => {
+                let scale = (2.0 / *n_features as f64).sqrt();
+                omegas
+                    .iter()
+                    .zip(phases.iter())
+                    .map(|(w, &p)| {
+                        let dot: f64 = w.iter().zip(input.iter()).map(|(a, b)| a * b).sum();
+                        scale * (dot + p).cos()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl TabularModel for SvrRegressor {
+    fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(ModelError::SeriesTooShort {
+                needed: 1,
+                got: inputs.len(),
+            });
+        }
+        let in_dim = inputs[0].len();
+        // Materialize the RFF projection if needed.
+        if let FeatureMap::Rff {
+            gamma,
+            n_features,
+            seed,
+            omegas,
+            phases,
+        } = &mut self.map
+        {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let sigma = (2.0 * *gamma).sqrt();
+            *omegas = (0..*n_features)
+                .map(|_| (0..in_dim).map(|_| gaussian(&mut rng) * sigma).collect())
+                .collect();
+            *phases = (0..*n_features)
+                .map(|_| rng.random_range(0.0..2.0 * std::f64::consts::PI))
+                .collect();
+        }
+        let phi: Vec<Vec<f64>> = inputs.iter().map(|x| self.features(x)).collect();
+        let dim = phi[0].len();
+        self.w = vec![0.0; dim];
+        self.b = targets.iter().sum::<f64>() / targets.len() as f64;
+
+        let n = inputs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(SVR_SHUFFLE_SEED);
+        for epoch in 0..self.epochs {
+            // Fisher–Yates shuffle per epoch.
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let lr = 0.1 / (1.0 + epoch as f64 * 0.2);
+            for &i in &order {
+                let pred: f64 = self
+                    .w
+                    .iter()
+                    .zip(phi[i].iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    + self.b;
+                let err = targets[i] - pred;
+                // Subgradient of the ε-insensitive loss + L2 term (scaled
+                // by 1/(C n) so C behaves like the usual trade-off knob).
+                let reg = 1.0 / (self.c * n as f64);
+                let sign = if err > self.epsilon {
+                    1.0
+                } else if err < -self.epsilon {
+                    -1.0
+                } else {
+                    0.0
+                };
+                for (w, &f) in self.w.iter_mut().zip(phi[i].iter()) {
+                    *w += lr * (sign * f - reg * *w);
+                }
+                self.b += lr * sign;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, input: &[f64]) -> f64 {
+        if self.w.is_empty() {
+            return 0.0;
+        }
+        let phi = self.features(input);
+        self.w
+            .iter()
+            .zip(phi.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.b
+    }
+}
+
+/// Fixed seed for the per-epoch SGD shuffle, so fits are reproducible.
+const SVR_SHUFFLE_SEED: u64 = 0x5B52;
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A linear SVR forecaster over embedded windows (paper family **SVR**).
+pub fn svr_linear(k: usize, c: f64, epsilon: f64) -> Windowed<SvrRegressor> {
+    Windowed::new(
+        format!("SVR(linear,C={c})"),
+        k,
+        SvrRegressor::linear(c, epsilon),
+    )
+}
+
+/// An RBF-kernel SVR forecaster over embedded windows.
+pub fn svr_rbf(k: usize, c: f64, epsilon: f64, gamma: f64, seed: u64) -> Windowed<SvrRegressor> {
+    Windowed::new(
+        format!("SVR(rbf,γ={gamma})"),
+        k,
+        SvrRegressor::rbf(c, epsilon, gamma, 64, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Forecaster;
+
+    #[test]
+    fn linear_svr_fits_line() {
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 25.0 - 1.0]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 2.0 * x[0] + 0.5).collect();
+        let mut svr = SvrRegressor::linear(10.0, 0.01);
+        svr.fit(&inputs, &targets).unwrap();
+        for (x, t) in inputs.iter().zip(targets.iter()).step_by(9) {
+            assert!(
+                (svr.predict(x) - t).abs() < 0.15,
+                "at {x:?}: {} vs {t}",
+                svr.predict(x)
+            );
+        }
+    }
+
+    #[test]
+    fn rbf_svr_fits_nonlinearity_better_than_linear() {
+        let inputs: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 40.0 - 1.0]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        let sse = |svr: &mut SvrRegressor| {
+            svr.fit(&inputs, &targets).unwrap();
+            inputs
+                .iter()
+                .zip(targets.iter())
+                .map(|(x, t)| (svr.predict(x) - t).powi(2))
+                .sum::<f64>()
+        };
+        let lin = sse(&mut SvrRegressor::linear(10.0, 0.01));
+        let rbf = sse(&mut SvrRegressor::rbf(10.0, 0.01, 2.0, 128, 7));
+        assert!(rbf < 0.5 * lin, "rbf {rbf} vs lin {lin}");
+    }
+
+    #[test]
+    fn epsilon_tube_ignores_small_errors() {
+        // With a huge ε, no update fires and the model predicts its bias.
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| 5.0 + 0.001 * i as f64).collect();
+        let mean = targets.iter().sum::<f64>() / 20.0;
+        let mut svr = SvrRegressor::linear(1.0, 100.0);
+        svr.fit(&inputs, &targets).unwrap();
+        assert!((svr.predict(&[3.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.1]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| x[0] * x[0]).collect();
+        let mut a = SvrRegressor::rbf(5.0, 0.05, 1.0, 32, 3);
+        let mut b = SvrRegressor::rbf(5.0, 0.05, 1.0, 32, 3);
+        a.fit(&inputs, &targets).unwrap();
+        b.fit(&inputs, &targets).unwrap();
+        assert_eq!(a.predict(&[1.5]), b.predict(&[1.5]));
+    }
+
+    #[test]
+    fn svr_forecaster_on_trend_series() {
+        let series: Vec<f64> = (0..120).map(|t| 0.5 * t as f64 + 10.0).collect();
+        let mut m = svr_linear(5, 10.0, 0.01);
+        m.fit(&series).unwrap();
+        let pred = m.predict_next(&series);
+        assert!((pred - 70.0).abs() < 3.0, "pred {pred}");
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let svr = SvrRegressor::linear(1.0, 0.1);
+        assert_eq!(svr.predict(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the base forecasting models.
+
+use eadrl_models::tree::{RandomForestRegressor, TreeRegressor};
+use eadrl_models::{
+    auto_regressive, decision_tree, gradient_boosting, Arima, Ets, EtsKind, Forecaster,
+    TabularModel,
+};
+use proptest::prelude::*;
+
+/// A synthetic AR(1)-plus-level series driven by the proptest inputs.
+fn ar_series(noise: &[f64], phi: f64, level: f64) -> Vec<f64> {
+    let mut s = vec![level];
+    for &n in noise {
+        let prev = *s.last().unwrap();
+        s.push(level + phi * (prev - level) + n);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_predictions_stay_within_target_range(
+        xs in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 10..40),
+        ys in prop::collection::vec(-100.0f64..100.0, 40),
+        query in prop::collection::vec(-20.0f64..20.0, 3),
+    ) {
+        let y = &ys[..xs.len()];
+        let mut tree = TreeRegressor::new(5, 2);
+        tree.fit(&xs, y).unwrap();
+        let p = tree.predict(&query);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn forest_predictions_stay_within_target_range(
+        xs in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 8..30),
+        ys in prop::collection::vec(-50.0f64..50.0, 30),
+        query in prop::collection::vec(-20.0f64..20.0, 2),
+        seed in 0u64..100,
+    ) {
+        let y = &ys[..xs.len()];
+        let mut forest = RandomForestRegressor::new(8, 4, 1, seed);
+        forest.fit(&xs, y).unwrap();
+        let p = forest.predict(&query);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn ar_model_predictions_are_finite_on_stable_series(
+        noise in prop::collection::vec(-1.0f64..1.0, 40..80),
+        phi in -0.9f64..0.9,
+        level in -100.0f64..100.0,
+    ) {
+        let series = ar_series(&noise, phi, level);
+        let mut m = auto_regressive(5, 1e-6);
+        m.fit(&series).unwrap();
+        let p = m.predict_next(&series);
+        prop_assert!(p.is_finite());
+    }
+
+    #[test]
+    fn arima_one_step_is_finite_and_level_scaled(
+        noise in prop::collection::vec(-1.0f64..1.0, 60..100),
+        phi in -0.8f64..0.8,
+        level in -1000.0f64..1000.0,
+    ) {
+        let series = ar_series(&noise, phi, level);
+        let mut m = Arima::new(1, 0, 1);
+        m.fit(&series).unwrap();
+        let p = m.predict_next(&series);
+        prop_assert!(p.is_finite());
+        // A stationary series' forecast should stay within a broad band of
+        // its observed range.
+        let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let band = (hi - lo).max(1.0);
+        prop_assert!(p > lo - 3.0 * band && p < hi + 3.0 * band, "{p} vs [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ets_forecast_interpolates_level_on_stationary_series(
+        noise in prop::collection::vec(-0.5f64..0.5, 30..60),
+        level in -100.0f64..100.0,
+    ) {
+        let series = ar_series(&noise, 0.0, level);
+        let mut m = Ets::new(EtsKind::Simple);
+        m.fit(&series).unwrap();
+        let p = m.predict_next(&series);
+        prop_assert!((p - level).abs() < 2.0, "SES drifted: {p} vs level {level}");
+    }
+
+    #[test]
+    fn gbm_training_error_not_worse_than_mean_predictor(
+        xs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 2), 10..30),
+        ys in prop::collection::vec(-20.0f64..20.0, 30),
+    ) {
+        let y = &ys[..xs.len()];
+        let mut gbm = eadrl_models::gbm::GbmRegressor::new(20, 2, 0.2);
+        gbm.fit(&xs, y).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sse_gbm: f64 = xs.iter().zip(y.iter()).map(|(x, t)| (gbm.predict(x) - t).powi(2)).sum();
+        let sse_mean: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+        prop_assert!(sse_gbm <= sse_mean + 1e-6);
+    }
+
+    #[test]
+    fn windowed_forecasters_never_panic_on_short_histories(
+        history in prop::collection::vec(-100.0f64..100.0, 0..6),
+    ) {
+        // Unfitted models on arbitrarily short histories must fall back,
+        // not panic — pool robustness depends on it.
+        let models: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(decision_tree(5, 4, 2)),
+            Box::new(gradient_boosting(5, 10, 2, 0.1)),
+            Box::new(auto_regressive(5, 1e-3)),
+        ];
+        for m in &models {
+            let p = m.predict_next(&history);
+            prop_assert!(p.is_finite() || history.is_empty());
+        }
+    }
+}

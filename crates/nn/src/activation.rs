@@ -1,0 +1,105 @@
+//! Element-wise activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation, applied after a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+    /// `f(x) = 1 / (1 + e^{-x})`.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// Every activation here admits this form, which lets layers cache only
+    /// their outputs.
+    #[inline]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+
+    /// Applies to a whole slice in place.
+    pub fn apply_in_place(self, xs: &mut [f64]) {
+        for x in xs.iter_mut() {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(100.0) <= 1.0);
+        assert!(s.apply(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            for &x in &[-1.5, -0.2, 0.0, 0.7, 2.0] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+        // ReLU away from the kink.
+        for &x in &[-1.0, 1.0] {
+            let y = Activation::Relu.apply(x);
+            let numeric =
+                (Activation::Relu.apply(x + h) - Activation::Relu.apply(x - h)) / (2.0 * h);
+            assert!((numeric - Activation::Relu.derivative_from_output(y)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let mut v = [-1.0, 0.0, 2.0];
+        Activation::Relu.apply_in_place(&mut v);
+        assert_eq!(v, [0.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,249 @@
+//! 1-D convolution layer (valid padding, stride 1).
+
+use crate::activation::Activation;
+use crate::init;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D convolution `out[c][t] = act(b[c] + Σ_ci Σ_k w[c][ci][k] · in[ci][t+k])`.
+///
+/// Valid padding, stride 1: an input of length `L` yields outputs of length
+/// `L - kernel + 1`. Inputs and outputs are channel-major
+/// (`Vec<channel> -> Vec<time>`). This is the feature extractor of the
+/// CNN-LSTM base forecaster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    activation: Activation,
+    /// Weights laid out `[out_ch][in_ch][k]`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    cache_input: Vec<Vec<f64>>,
+    cache_output: Vec<Vec<f64>>,
+}
+
+impl Conv1d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    /// Panics when `kernel == 0`.
+    pub fn new(
+        rng: &mut StdRng,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        activation: Activation,
+    ) -> Self {
+        assert!(kernel > 0, "Conv1d kernel must be positive");
+        let fan_in = in_channels * kernel;
+        let n = out_channels * fan_in;
+        let w = match activation {
+            Activation::Relu => init::he_uniform(rng, fan_in, n),
+            _ => init::xavier_uniform(rng, fan_in, out_channels * kernel, n),
+        };
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            activation,
+            w,
+            b: vec![0.0; out_channels],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_channels],
+            cache_input: Vec::new(),
+            cache_output: Vec::new(),
+        }
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output length for an input of length `len` (0 when too short).
+    pub fn out_len(&self, len: usize) -> usize {
+        (len + 1).saturating_sub(self.kernel)
+    }
+
+    fn weight(&self, oc: usize, ic: usize, k: usize) -> f64 {
+        self.w[(oc * self.in_channels + ic) * self.kernel + k]
+    }
+
+    /// Training forward pass (caches input and output).
+    ///
+    /// # Panics
+    /// Debug-panics when the channel count mismatches or the input is
+    /// shorter than the kernel.
+    pub fn forward(&mut self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let out = self.forward_inference(input);
+        self.cache_input = input.to_vec();
+        self.cache_output = out.clone();
+        out
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward_inference(&self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        debug_assert_eq!(input.len(), self.in_channels, "Conv1d: channel count");
+        let len = input.first().map_or(0, Vec::len);
+        debug_assert!(len >= self.kernel, "Conv1d: input shorter than kernel");
+        let out_len = self.out_len(len);
+        let mut out = vec![vec![0.0; out_len]; self.out_channels];
+        for (oc, och) in out.iter_mut().enumerate() {
+            for (t, ov) in och.iter_mut().enumerate() {
+                let mut s = self.b[oc];
+                for (ic, ich) in input.iter().enumerate() {
+                    for k in 0..self.kernel {
+                        s += self.weight(oc, ic, k) * ich[t + k];
+                    }
+                }
+                *ov = self.activation.apply(s);
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns input
+    /// gradients (channel-major, same shape as the forward input).
+    pub fn backward(&mut self, grad_output: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        debug_assert_eq!(grad_output.len(), self.out_channels);
+        debug_assert!(
+            !self.cache_input.is_empty(),
+            "Conv1d backward called before forward"
+        );
+        let in_len = self.cache_input[0].len();
+        let mut grad_input = vec![vec![0.0; in_len]; self.in_channels];
+        for (oc, (goch, yoch)) in grad_output.iter().zip(self.cache_output.iter()).enumerate() {
+            for (t, (&gy, &y)) in goch.iter().zip(yoch.iter()).enumerate() {
+                let dz = gy * self.activation.derivative_from_output(y);
+                if dz == 0.0 {
+                    continue;
+                }
+                self.grad_b[oc] += dz;
+                for ic in 0..self.in_channels {
+                    for k in 0..self.kernel {
+                        let widx = (oc * self.in_channels + ic) * self.kernel + k;
+                        self.grad_w[widx] += dz * self.cache_input[ic][t + k];
+                        grad_input[ic][t + k] += dz * self.w[widx];
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+}
+
+impl Network for Conv1d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_length_is_valid_conv() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv1d::new(&mut rng, 1, 2, 3, Activation::Identity);
+        assert_eq!(conv.out_len(5), 3);
+        assert_eq!(conv.out_len(3), 1);
+        assert_eq!(conv.out_len(2), 0);
+        let out = conv.forward_inference(&[vec![1.0, 2.0, 3.0, 4.0, 5.0]]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv1d::new(&mut rng, 1, 1, 1, Activation::Identity);
+        conv.w = vec![1.0];
+        conv.b = vec![0.0];
+        let out = conv.forward(&[vec![3.0, -1.0, 4.0]]);
+        assert_eq!(out[0], vec![3.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn moving_average_kernel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv1d::new(&mut rng, 1, 1, 2, Activation::Identity);
+        conv.w = vec![0.5, 0.5];
+        conv.b = vec![0.0];
+        let out = conv.forward(&[vec![1.0, 3.0, 5.0]]);
+        assert_eq!(out[0], vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn gradcheck_weights_and_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv1d::new(&mut rng, 2, 2, 2, Activation::Tanh);
+        let input = vec![vec![0.2, -0.4, 0.6, 0.1], vec![0.5, 0.3, -0.2, 0.8]];
+        let out = conv.forward(&input);
+        let ones: Vec<Vec<f64>> = out.iter().map(|c| vec![1.0; c.len()]).collect();
+        let gin = conv.backward(&ones);
+
+        let loss = |c: &Conv1d, inp: &[Vec<f64>]| -> f64 {
+            c.forward_inference(inp)
+                .iter()
+                .flat_map(|ch| ch.iter())
+                .sum()
+        };
+        let h = 1e-6;
+        // Weight gradients.
+        let flat = conv.flat_params();
+        let mut grads = Vec::new();
+        conv.visit_params(&mut |_p, g| grads.extend_from_slice(g));
+        for &idx in &[0usize, 3, 7, flat.len() - 1] {
+            let mut up = flat.clone();
+            up[idx] += h;
+            let mut dn = flat.clone();
+            dn[idx] -= h;
+            conv.load_flat_params(&up);
+            let lu = loss(&conv, &input);
+            conv.load_flat_params(&dn);
+            let ld = loss(&conv, &input);
+            conv.load_flat_params(&flat);
+            let numeric = (lu - ld) / (2.0 * h);
+            assert!(
+                (numeric - grads[idx]).abs() < 1e-5,
+                "w[{idx}]: {numeric} vs {}",
+                grads[idx]
+            );
+        }
+        // Input gradients.
+        for ic in 0..2 {
+            for t in 0..4 {
+                let mut up = input.clone();
+                up[ic][t] += h;
+                let mut dn = input.clone();
+                dn[ic][t] -= h;
+                let numeric = (loss(&conv, &up) - loss(&conv, &dn)) / (2.0 * h);
+                assert!(
+                    (numeric - gin[ic][t]).abs() < 1e-5,
+                    "in[{ic}][{t}]: {numeric} vs {}",
+                    gin[ic][t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be positive")]
+    fn zero_kernel_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = Conv1d::new(&mut rng, 1, 1, 0, Activation::Identity);
+    }
+}

@@ -1,0 +1,271 @@
+//! Fully-connected layer with a fused activation.
+
+use crate::activation::Activation;
+use crate::init;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = act(W x + b)`.
+///
+/// `W` is stored row-major with shape `(out, in)`. The layer caches its last
+/// input and output so [`Dense::backward`] can run without re-computing the
+/// forward pass; gradients accumulate into `grad_w`/`grad_b` until
+/// [`Network::zero_grad`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+    activation: Activation,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    cache_input: Vec<f64>,
+    cache_output: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with activation-appropriate initialization
+    /// (He for ReLU, Xavier otherwise) and zero biases.
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+        let n = in_dim * out_dim;
+        let w = match activation {
+            Activation::Relu => init::he_uniform(rng, in_dim, n),
+            _ => init::xavier_uniform(rng, in_dim, out_dim, n),
+        };
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            activation,
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_dim],
+            cache_input: Vec::new(),
+            cache_output: Vec::new(),
+        }
+    }
+
+    /// Creates a layer whose weights and biases are drawn from
+    /// `U(-scale, scale)` — DDPG's near-zero final-layer initialization.
+    pub fn new_small(
+        rng: &mut StdRng,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        scale: f64,
+    ) -> Self {
+        let n = in_dim * out_dim;
+        Dense {
+            in_dim,
+            out_dim,
+            w: init::small_uniform(rng, scale, n),
+            b: init::small_uniform(rng, scale, out_dim),
+            activation,
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_dim],
+            cache_input: Vec::new(),
+            cache_output: Vec::new(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Mutable access to the bias vector (informed initialization).
+    pub fn bias_mut(&mut self) -> &mut [f64] {
+        &mut self.b
+    }
+
+    /// Forward pass; caches input and output for [`Dense::backward`].
+    pub fn forward(&mut self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim, "Dense forward: input dim");
+        let mut out = self.b.clone();
+        for (o, wrow) in out.iter_mut().zip(self.w.chunks_exact(self.in_dim)) {
+            *o += wrow
+                .iter()
+                .zip(input.iter())
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        }
+        self.activation.apply_in_place(&mut out);
+        self.cache_input = input.to_vec();
+        self.cache_output = out.clone();
+        out
+    }
+
+    /// Forward pass without caching (inference-only; cheaper and leaves the
+    /// training caches untouched).
+    pub fn forward_inference(&self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.in_dim, "Dense forward: input dim");
+        let mut out = self.b.clone();
+        for (o, wrow) in out.iter_mut().zip(self.w.chunks_exact(self.in_dim)) {
+            *o += wrow
+                .iter()
+                .zip(input.iter())
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        }
+        self.activation.apply_in_place(&mut out);
+        out
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    /// Debug-panics when called before [`Dense::forward`] or with a
+    /// mismatched gradient length.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(grad_output.len(), self.out_dim, "Dense backward: dim");
+        debug_assert_eq!(
+            self.cache_input.len(),
+            self.in_dim,
+            "Dense backward called before forward"
+        );
+        let mut grad_input = vec![0.0; self.in_dim];
+        for (j, (&gy, &y)) in grad_output.iter().zip(self.cache_output.iter()).enumerate() {
+            // Chain through the activation.
+            let dz = gy * self.activation.derivative_from_output(y);
+            if dz == 0.0 {
+                continue;
+            }
+            self.grad_b[j] += dz;
+            let wrow = &self.w[j * self.in_dim..(j + 1) * self.in_dim];
+            let grow = &mut self.grad_w[j * self.in_dim..(j + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += dz * self.cache_input[i];
+                grad_input[i] += dz * wrow[i];
+            }
+        }
+        grad_input
+    }
+}
+
+impl Network for Dense {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer(act: Activation) -> Dense {
+        let mut rng = StdRng::seed_from_u64(42);
+        Dense::new(&mut rng, 3, 2, act)
+    }
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut d = layer(Activation::Identity);
+        // Overwrite weights with known values.
+        d.w = vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0];
+        d.b = vec![0.5, -0.5];
+        let y = d.forward(&[2.0, 3.0, 4.0]);
+        assert_eq!(y, vec![2.5, 6.5]);
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut d = layer(Activation::Tanh);
+        let x = [0.3, -0.7, 1.1];
+        let a = d.forward(&x);
+        let b = d.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut d = layer(Activation::Tanh);
+        let x = [0.4, -0.2, 0.9];
+        // Loss = sum of outputs; grad_output = 1s.
+        let y = d.forward(&x);
+        let _ = y;
+        let gin = d.backward(&[1.0, 1.0]);
+
+        let h = 1e-6;
+        // Check dLoss/dw for a few weights.
+        for &wi in &[0usize, 2, 4, 5] {
+            let orig = d.w[wi];
+            d.w[wi] = orig + h;
+            let up: f64 = d.forward_inference(&x).iter().sum();
+            d.w[wi] = orig - h;
+            let dn: f64 = d.forward_inference(&x).iter().sum();
+            d.w[wi] = orig;
+            let numeric = (up - dn) / (2.0 * h);
+            assert!(
+                (numeric - d.grad_w[wi]).abs() < 1e-5,
+                "w[{wi}]: {numeric} vs {}",
+                d.grad_w[wi]
+            );
+        }
+        // Check dLoss/dx.
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += h;
+            let up: f64 = d.forward_inference(&xp).iter().sum();
+            xp[i] -= 2.0 * h;
+            let dn: f64 = d.forward_inference(&xp).iter().sum();
+            let numeric = (up - dn) / (2.0 * h);
+            assert!((numeric - gin[i]).abs() < 1e-5, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut d = layer(Activation::Identity);
+        let x = [1.0, 1.0, 1.0];
+        d.forward(&x);
+        d.backward(&[1.0, 0.0]);
+        let g1 = d.grad_w[0];
+        d.forward(&x);
+        d.backward(&[1.0, 0.0]);
+        assert!((d.grad_w[0] - 2.0 * g1).abs() < 1e-12);
+        d.zero_grad();
+        assert_eq!(d.grad_w[0], 0.0);
+        assert_eq!(d.grad_b[0], 0.0);
+    }
+
+    #[test]
+    fn param_count_and_flat_roundtrip() {
+        let mut d = layer(Activation::Relu);
+        assert_eq!(d.param_count(), 3 * 2 + 2);
+        let flat = d.flat_params();
+        let mut d2 = layer(Activation::Relu);
+        d2.load_flat_params(&flat);
+        assert_eq!(d2.flat_params(), flat);
+    }
+
+    #[test]
+    fn soft_update_moves_toward_source() {
+        let mut d = layer(Activation::Identity);
+        let source = vec![1.0; d.param_count()];
+        let before = d.flat_params();
+        d.soft_update_from(&source, 0.5);
+        let after = d.flat_params();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((a - (0.5 * 1.0 + 0.5 * b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_gradients() {
+        let mut d = layer(Activation::Identity);
+        d.forward(&[10.0, 10.0, 10.0]);
+        d.backward(&[100.0, 100.0]);
+        d.clip_grad_norm(1.0);
+        assert!(d.grad_norm() <= 1.0 + 1e-9);
+    }
+}

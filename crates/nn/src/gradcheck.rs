@@ -1,0 +1,157 @@
+//! Finite-difference gradient checking for [`Network`] implementations.
+//!
+//! Manual-backprop code has exactly one failure mode that silently ruins
+//! everything downstream: a wrong gradient. This module packages the
+//! central-difference check used throughout this crate's tests as a public
+//! utility, so anyone adding a custom layer can verify it the same way.
+
+use crate::network::Network;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Parameters checked.
+    pub checked: usize,
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_error: f64,
+    /// Index (into the flat parameter vector) of the worst parameter.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// True when every checked gradient matched within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_error <= tol
+    }
+}
+
+/// Checks the analytic gradients currently stored in `network` against
+/// central finite differences of `loss`.
+///
+/// The caller is responsible for having run the forward + backward pass
+/// that populated the gradients (and for `loss` recomputing the *same*
+/// scalar loss from scratch — typically a closure over the same inputs
+/// and targets). `indices` selects which flat-parameter entries to probe;
+/// probing all of them is O(2·|θ|) loss evaluations, so tests usually
+/// sample a handful.
+///
+/// # Panics
+/// Panics when an index is out of range.
+pub fn check_gradients<N: Network>(
+    network: &mut N,
+    loss: impl Fn(&mut N) -> f64,
+    indices: &[usize],
+    step: f64,
+) -> GradCheckReport {
+    let flat = network.flat_params();
+    let mut grads = Vec::with_capacity(flat.len());
+    network.visit_params(&mut |_p, g| grads.extend_from_slice(g));
+    assert_eq!(flat.len(), grads.len(), "params/grads disagree");
+
+    let mut max_abs_error: f64 = 0.0;
+    let mut worst_index = 0;
+    for &idx in indices {
+        assert!(idx < flat.len(), "gradcheck index {idx} out of range");
+        let mut up = flat.clone();
+        up[idx] += step;
+        network.load_flat_params(&up);
+        let lu = loss(network);
+        let mut down = flat.clone();
+        down[idx] -= step;
+        network.load_flat_params(&down);
+        let ld = loss(network);
+        let numeric = (lu - ld) / (2.0 * step);
+        let err = (numeric - grads[idx]).abs();
+        if err > max_abs_error {
+            max_abs_error = err;
+            worst_index = idx;
+        }
+    }
+    network.load_flat_params(&flat);
+    GradCheckReport {
+        checked: indices.len(),
+        max_abs_error,
+        worst_index,
+    }
+}
+
+/// Convenience: evenly spaced probe indices covering a parameter vector.
+pub fn probe_indices(param_count: usize, probes: usize) -> Vec<usize> {
+    if param_count == 0 || probes == 0 {
+        return Vec::new();
+    }
+    let probes = probes.min(param_count);
+    (0..probes)
+        .map(|i| i * (param_count - 1) / probes.max(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::loss::{mse_loss, mse_loss_grad};
+    use crate::mlp::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_gradients_pass_the_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&mut rng, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let x = [0.3, -0.7, 0.5];
+        let target = [1.0, -0.5];
+        let y = mlp.forward(&x);
+        let g = mse_loss_grad(&y, &target);
+        mlp.zero_grad();
+        mlp.forward(&x);
+        mlp.backward(&g);
+
+        let n = mlp.param_count();
+        let indices = probe_indices(n, 12);
+        let report = check_gradients(
+            &mut mlp,
+            |net| mse_loss(&net.forward_inference(&x), &target),
+            &indices,
+            1e-6,
+        );
+        assert!(report.passes(1e-5), "{report:?}");
+        assert_eq!(report.checked, 12);
+    }
+
+    #[test]
+    fn corrupted_gradients_fail_the_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mlp = Mlp::new(&mut rng, &[2, 3, 1], Activation::Tanh, Activation::Identity);
+        let x = [0.5, -0.5];
+        let target = [2.0];
+        let y = mlp.forward(&x);
+        let g = mse_loss_grad(&y, &target);
+        mlp.backward(&g);
+        // Sabotage: add garbage to every gradient.
+        mlp.visit_params(&mut |_p, grads| {
+            for v in grads.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        let n = mlp.param_count();
+        let report = check_gradients(
+            &mut mlp,
+            |net| mse_loss(&net.forward_inference(&x), &target),
+            &probe_indices(n, 6),
+            1e-6,
+        );
+        assert!(!report.passes(1e-5));
+        assert!(report.max_abs_error > 0.5);
+    }
+
+    #[test]
+    fn probe_indices_cover_the_range() {
+        let idx = probe_indices(100, 5);
+        assert_eq!(idx.len(), 5);
+        assert!(idx[0] < idx[4]);
+        assert!(idx.iter().all(|&i| i < 100));
+        assert!(probe_indices(0, 5).is_empty());
+        assert_eq!(probe_indices(3, 10).len(), 3);
+    }
+}

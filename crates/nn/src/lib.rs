@@ -1,0 +1,40 @@
+#![allow(clippy::needless_range_loop)] // index loops over multiple parallel arrays read clearer in numeric kernels
+
+//! Minimal neural-network library with manual backpropagation.
+//!
+//! This crate is the learning substrate of the reproduction. It powers
+//!
+//! * the **actor** (policy) and **critic** (value) networks of the DDPG
+//!   agent in `eadrl-rl` — plain MLPs, as in the paper's setup, and
+//! * the neural base forecasters of `eadrl-models` (MLP, LSTM, Bi-LSTM,
+//!   CNN-LSTM, Conv-LSTM).
+//!
+//! Scope is deliberately small: single-sample forward/backward passes over
+//! `f64` slices, explicit gradient buffers per layer, and optimizers that
+//! walk a network's parameters via the [`Network`] visitor. The networks in
+//! the paper are tiny (states are ω ≈ 10-dimensional windows, actions are
+//! m ≤ 43-dimensional weight vectors), so clarity beats vectorization here.
+//!
+//! Layers cache their forward activations, so the usage pattern is strictly
+//! `forward` → `backward` → optimizer `step` → `zero_grad`.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod gradcheck;
+pub mod init;
+pub mod loss;
+pub mod lstm;
+pub mod mlp;
+pub mod network;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use conv::Conv1d;
+pub use dense::Dense;
+pub use gradcheck::{check_gradients, probe_indices, GradCheckReport};
+pub use loss::{mse_loss, mse_loss_grad};
+pub use lstm::{BiLstm, Lstm};
+pub use mlp::Mlp;
+pub use network::Network;
+pub use optimizer::{Adam, Optimizer, Sgd};

@@ -1,0 +1,515 @@
+//! LSTM and bidirectional-LSTM sequence layers with full BPTT.
+
+use crate::init;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-timestep cache of everything the backward pass needs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// A single-layer LSTM over sequences of input vectors.
+///
+/// Gate order in the packed weight matrices is `i, f, g, o` (input, forget,
+/// candidate, output). `w` maps inputs (shape `4H x in_dim`), `u` maps the
+/// previous hidden state (shape `4H x H`), `b` is the bias (`4H`; the
+/// forget-gate slice is initialized to 1.0, the standard trick that keeps
+/// memory open early in training).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    in_dim: usize,
+    hidden: usize,
+    w: Vec<f64>,
+    u: Vec<f64>,
+    b: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_u: Vec<f64>,
+    grad_b: Vec<f64>,
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights.
+    pub fn new(rng: &mut StdRng, in_dim: usize, hidden: usize) -> Self {
+        let w = init::xavier_uniform(rng, in_dim, hidden, 4 * hidden * in_dim);
+        let u = init::xavier_uniform(rng, hidden, hidden, 4 * hidden * hidden);
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias = 1.
+        for v in b.iter_mut().take(2 * hidden).skip(hidden) {
+            *v = 1.0;
+        }
+        Lstm {
+            in_dim,
+            hidden,
+            grad_w: vec![0.0; 4 * hidden * in_dim],
+            grad_u: vec![0.0; 4 * hidden * hidden],
+            grad_b: vec![0.0; 4 * hidden],
+            w,
+            u,
+            b,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Input dimension per timestep.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden-state size.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the sequence and returns the final hidden state, caching the
+    /// full unrolled pass for [`Lstm::backward_last`].
+    pub fn forward_sequence(&mut self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        self.cache.clear();
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        for x in inputs {
+            let (nh, nc, step) = self.step(x, &h, &c);
+            self.cache.push(step);
+            h = nh;
+            c = nc;
+        }
+        h
+    }
+
+    /// Runs the sequence and returns *every* hidden state (training pass;
+    /// caches for [`Lstm::backward_full`]). Used by stacked LSTMs, where
+    /// the next layer consumes the full hidden sequence.
+    pub fn forward_sequence_full(&mut self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.cache.clear();
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        let mut out = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let (nh, nc, step) = self.step(x, &h, &c);
+            self.cache.push(step);
+            h = nh;
+            c = nc;
+            out.push(h.clone());
+        }
+        out
+    }
+
+    /// Inference-only pass returning every hidden state.
+    pub fn forward_inference_full(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        let mut out = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let (nh, nc, _) = self.step_no_cache(x, &h, &c);
+            h = nh;
+            c = nc;
+            out.push(h.clone());
+        }
+        out
+    }
+
+    /// Inference-only pass (no caching); returns the final hidden state.
+    pub fn forward_inference(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        for x in inputs {
+            let (nh, nc, _) = self.step_no_cache(x, &h, &c);
+            h = nh;
+            c = nc;
+        }
+        h
+    }
+
+    fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, StepCache) {
+        debug_assert_eq!(x.len(), self.in_dim, "Lstm step: input dim");
+        let hsz = self.hidden;
+        // z = W x + U h_prev + b, gate blocks [i | f | g | o].
+        let mut z = self.b.clone();
+        for (row, zv) in z.iter_mut().enumerate() {
+            let wrow = &self.w[row * self.in_dim..(row + 1) * self.in_dim];
+            let urow = &self.u[row * hsz..(row + 1) * hsz];
+            *zv += wrow.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f64>()
+                + urow
+                    .iter()
+                    .zip(h_prev.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>();
+        }
+        let sigmoid = |v: f64| 1.0 / (1.0 + (-v).exp());
+        let i: Vec<f64> = z[..hsz].iter().map(|&v| sigmoid(v)).collect();
+        let f: Vec<f64> = z[hsz..2 * hsz].iter().map(|&v| sigmoid(v)).collect();
+        let g: Vec<f64> = z[2 * hsz..3 * hsz].iter().map(|&v| v.tanh()).collect();
+        let o: Vec<f64> = z[3 * hsz..].iter().map(|&v| sigmoid(v)).collect();
+        let c: Vec<f64> = (0..hsz).map(|k| f[k] * c_prev[k] + i[k] * g[k]).collect();
+        let tanh_c: Vec<f64> = c.iter().map(|v| v.tanh()).collect();
+        let h: Vec<f64> = (0..hsz).map(|k| o[k] * tanh_c[k]).collect();
+        let cache = StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c: c.clone(),
+            tanh_c,
+        };
+        (h, c, cache)
+    }
+
+    fn step_no_cache(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, ()) {
+        let (h, c, _) = self.step(x, h_prev, c_prev);
+        (h, c, ())
+    }
+
+    /// BPTT from a gradient on the *final* hidden state.
+    ///
+    /// Accumulates parameter gradients and returns the gradients with
+    /// respect to each input vector (same order as the forward inputs).
+    ///
+    /// # Panics
+    /// Panics when called before [`Lstm::forward_sequence`].
+    pub fn backward_last(&mut self, grad_h_last: &[f64]) -> Vec<Vec<f64>> {
+        assert!(
+            !self.cache.is_empty(),
+            "Lstm::backward_last called before forward_sequence"
+        );
+        let steps = self.cache.len();
+        let mut grads = vec![vec![0.0; self.hidden]; steps];
+        grads[steps - 1].copy_from_slice(grad_h_last);
+        self.backward_full(&grads)
+    }
+
+    /// BPTT with a gradient on *every* hidden state (stacked-LSTM case).
+    ///
+    /// `grad_hs[t]` is the gradient flowing into hidden state `h_t` from
+    /// above; returns gradients with respect to each input vector.
+    ///
+    /// # Panics
+    /// Panics when called before a forward pass or with a mismatched
+    /// number of step gradients.
+    pub fn backward_full(&mut self, grad_hs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert!(
+            !self.cache.is_empty(),
+            "Lstm::backward_full called before forward_sequence"
+        );
+        let hsz = self.hidden;
+        let steps = self.cache.len();
+        assert_eq!(grad_hs.len(), steps, "one hidden gradient per step");
+        let mut grad_inputs = vec![vec![0.0; self.in_dim]; steps];
+        let mut dh = vec![0.0; hsz];
+        let mut dc_next = vec![0.0; hsz];
+
+        for t in (0..steps).rev() {
+            for (d, g) in dh.iter_mut().zip(grad_hs[t].iter()) {
+                *d += g;
+            }
+            // Move the cache entry out to avoid borrowing issues; restore after.
+            let cache = std::mem::take(&mut self.cache[t]);
+            let mut dz = vec![0.0; 4 * hsz]; // pre-activation grads [i|f|g|o]
+            let mut dc_prev = vec![0.0; hsz];
+            for k in 0..hsz {
+                let do_k = dh[k] * cache.tanh_c[k];
+                let dc =
+                    dc_next[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+                let di = dc * cache.g[k];
+                let df = dc * cache.c_prev[k];
+                let dg = dc * cache.i[k];
+                dc_prev[k] = dc * cache.f[k];
+                dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                dz[hsz + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                dz[2 * hsz + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+                dz[3 * hsz + k] = do_k * cache.o[k] * (1.0 - cache.o[k]);
+            }
+            // Parameter gradients and input/hidden gradients.
+            let mut dh_prev = vec![0.0; hsz];
+            for row in 0..4 * hsz {
+                let d = dz[row];
+                if d == 0.0 {
+                    continue;
+                }
+                self.grad_b[row] += d;
+                let gw = &mut self.grad_w[row * self.in_dim..(row + 1) * self.in_dim];
+                for (gwi, &xi) in gw.iter_mut().zip(cache.x.iter()) {
+                    *gwi += d * xi;
+                }
+                let gu = &mut self.grad_u[row * hsz..(row + 1) * hsz];
+                for (gui, &hi) in gu.iter_mut().zip(cache.h_prev.iter()) {
+                    *gui += d * hi;
+                }
+                let wrow = &self.w[row * self.in_dim..(row + 1) * self.in_dim];
+                for (gi, &wv) in grad_inputs[t].iter_mut().zip(wrow.iter()) {
+                    *gi += d * wv;
+                }
+                let urow = &self.u[row * hsz..(row + 1) * hsz];
+                for (ghi, &uv) in dh_prev.iter_mut().zip(urow.iter()) {
+                    *ghi += d * uv;
+                }
+            }
+            self.cache[t] = cache;
+            dh = dh_prev;
+            dc_next = dc_prev;
+        }
+        grad_inputs
+    }
+}
+
+impl Network for Lstm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.u, &mut self.grad_u);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+/// A bidirectional LSTM: one LSTM reads the sequence forward, another reads
+/// it reversed; the output is the concatenation of both final hidden states
+/// (length `2 * hidden`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiLstm {
+    forward: Lstm,
+    backward: Lstm,
+}
+
+impl BiLstm {
+    /// Creates a bidirectional LSTM; each direction has `hidden` units.
+    pub fn new(rng: &mut StdRng, in_dim: usize, hidden: usize) -> Self {
+        BiLstm {
+            forward: Lstm::new(rng, in_dim, hidden),
+            backward: Lstm::new(rng, in_dim, hidden),
+        }
+    }
+
+    /// Output dimension (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.forward.hidden_dim()
+    }
+
+    /// Training forward pass; returns `[h_fwd ‖ h_bwd]`.
+    pub fn forward_sequence(&mut self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = self.forward.forward_sequence(inputs);
+        let reversed: Vec<Vec<f64>> = inputs.iter().rev().cloned().collect();
+        out.extend(self.backward.forward_sequence(&reversed));
+        out
+    }
+
+    /// Inference pass.
+    pub fn forward_inference(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = self.forward.forward_inference(inputs);
+        let reversed: Vec<Vec<f64>> = inputs.iter().rev().cloned().collect();
+        out.extend(self.backward.forward_inference(&reversed));
+        out
+    }
+
+    /// BPTT from a gradient on the concatenated output; returns per-input
+    /// gradients in forward order.
+    pub fn backward_last(&mut self, grad_out: &[f64]) -> Vec<Vec<f64>> {
+        let h = self.forward.hidden_dim();
+        debug_assert_eq!(grad_out.len(), 2 * h);
+        let mut grads = self.forward.backward_last(&grad_out[..h]);
+        let bwd_grads = self.backward.backward_last(&grad_out[h..]);
+        // bwd_grads are in reversed-input order; fold them back.
+        for (fwd_idx, g) in bwd_grads.into_iter().rev().enumerate() {
+            for (a, b) in grads[fwd_idx].iter_mut().zip(g.iter()) {
+                *a += b;
+            }
+        }
+        grads
+    }
+}
+
+impl Network for BiLstm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.forward.visit_params(f);
+        self.backward.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seq(vals: &[f64]) -> Vec<Vec<f64>> {
+        vals.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn forward_matches_inference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(&mut rng, 1, 4);
+        let inputs = seq(&[0.1, -0.2, 0.5]);
+        let a = lstm.forward_sequence(&inputs);
+        let b = lstm.forward_inference(&inputs);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn output_depends_on_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lstm = Lstm::new(&mut rng, 1, 3);
+        let a = lstm.forward_inference(&seq(&[1.0, 0.0, -1.0]));
+        let b = lstm.forward_inference(&seq(&[-1.0, 0.0, 1.0]));
+        assert_ne!(a, b, "LSTM must be order-sensitive");
+    }
+
+    #[test]
+    fn bptt_gradcheck_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(&mut rng, 2, 3);
+        let inputs = vec![vec![0.3, -0.1], vec![0.7, 0.2], vec![-0.5, 0.4]];
+        // Loss = sum of final hidden state.
+        lstm.forward_sequence(&inputs);
+        let ones = vec![1.0; 3];
+        lstm.backward_last(&ones);
+
+        let flat = lstm.flat_params();
+        let mut grads = Vec::new();
+        lstm.visit_params(&mut |_p, g| grads.extend_from_slice(g));
+        let h = 1e-6;
+        let loss = |l: &Lstm| -> f64 { l.forward_inference(&inputs).iter().sum() };
+        for &idx in &[0usize, 7, 20, flat.len() - 2, flat.len() - 1] {
+            let mut up = flat.clone();
+            up[idx] += h;
+            let mut dn = flat.clone();
+            dn[idx] -= h;
+            lstm.load_flat_params(&up);
+            let lu = loss(&lstm);
+            lstm.load_flat_params(&dn);
+            let ld = loss(&lstm);
+            lstm.load_flat_params(&flat);
+            let numeric = (lu - ld) / (2.0 * h);
+            assert!(
+                (numeric - grads[idx]).abs() < 1e-5,
+                "param {idx}: {numeric} vs {}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bptt_gradcheck_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(&mut rng, 1, 2);
+        let inputs = seq(&[0.5, -0.3, 0.8, 0.1]);
+        lstm.forward_sequence(&inputs);
+        let gin = lstm.backward_last(&[1.0, 1.0]);
+        let h = 1e-6;
+        for t in 0..inputs.len() {
+            let mut up = inputs.clone();
+            up[t][0] += h;
+            let mut dn = inputs.clone();
+            dn[t][0] -= h;
+            let lu: f64 = lstm.forward_inference(&up).iter().sum();
+            let ld: f64 = lstm.forward_inference(&dn).iter().sum();
+            let numeric = (lu - ld) / (2.0 * h);
+            assert!(
+                (numeric - gin[t][0]).abs() < 1e-5,
+                "input {t}: {numeric} vs {}",
+                gin[t][0]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward_sequence")]
+    fn backward_before_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lstm = Lstm::new(&mut rng, 1, 2);
+        lstm.backward_last(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn bilstm_concatenates_directions() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut bi = BiLstm::new(&mut rng, 1, 3);
+        let out = bi.forward_sequence(&seq(&[0.1, 0.2, 0.3]));
+        assert_eq!(out.len(), 6);
+        assert_eq!(bi.out_dim(), 6);
+    }
+
+    #[test]
+    fn bilstm_gradcheck_inputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bi = BiLstm::new(&mut rng, 1, 2);
+        let inputs = seq(&[0.4, -0.6, 0.2]);
+        bi.forward_sequence(&inputs);
+        let gin = bi.backward_last(&[1.0; 4]);
+        let h = 1e-6;
+        for t in 0..inputs.len() {
+            let mut up = inputs.clone();
+            up[t][0] += h;
+            let mut dn = inputs.clone();
+            dn[t][0] -= h;
+            let lu: f64 = bi.forward_inference(&up).iter().sum();
+            let ld: f64 = bi.forward_inference(&dn).iter().sum();
+            let numeric = (lu - ld) / (2.0 * h);
+            assert!(
+                (numeric - gin[t][0]).abs() < 1e-5,
+                "input {t}: {numeric} vs {}",
+                gin[t][0]
+            );
+        }
+    }
+
+    #[test]
+    fn full_sequence_matches_stepwise_last() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut lstm = Lstm::new(&mut rng, 1, 3);
+        let inputs = seq(&[0.2, -0.4, 0.9]);
+        let all = lstm.forward_sequence_full(&inputs);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2], lstm.forward_inference(&inputs));
+        assert_eq!(all, lstm.forward_inference_full(&inputs));
+    }
+
+    #[test]
+    fn backward_full_gradcheck_inputs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lstm = Lstm::new(&mut rng, 1, 2);
+        let inputs = seq(&[0.3, -0.5, 0.7]);
+        // Loss = sum over ALL hidden states of all components.
+        lstm.forward_sequence_full(&inputs);
+        let grads = vec![vec![1.0; 2]; 3];
+        let gin = lstm.backward_full(&grads);
+        let loss = |l: &Lstm, inp: &[Vec<f64>]| -> f64 {
+            l.forward_inference_full(inp)
+                .iter()
+                .flat_map(|h| h.iter())
+                .sum()
+        };
+        let h = 1e-6;
+        for t in 0..inputs.len() {
+            let mut up = inputs.clone();
+            up[t][0] += h;
+            let mut dn = inputs.clone();
+            dn[t][0] -= h;
+            let numeric = (loss(&lstm, &up) - loss(&lstm, &dn)) / (2.0 * h);
+            assert!(
+                (numeric - gin[t][0]).abs() < 1e-5,
+                "input {t}: {numeric} vs {}",
+                gin[t][0]
+            );
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let lstm = Lstm::new(&mut rng, 1, 4);
+        assert!(lstm.b[4..8].iter().all(|&v| v == 1.0));
+        assert!(lstm.b[..4].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Multi-layer perceptron built from [`Dense`] layers.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: a chain of [`Dense`] layers.
+///
+/// Both the paper's policy and value networks are MLPs ("both policy and
+/// value networks are based on MLPs"), and the MLP base forecaster reuses
+/// this type directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a sizes vector and a hidden activation.
+    ///
+    /// `sizes = [in, h1, …, out]` creates `sizes.len() - 1` layers; hidden
+    /// layers use `hidden_activation`, the final layer uses
+    /// `output_activation`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two sizes are given.
+    pub fn new(
+        rng: &mut StdRng,
+        sizes: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "Mlp::new needs at least [in, out] sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let act = if i + 2 == sizes.len() {
+                output_activation
+            } else {
+                hidden_activation
+            };
+            layers.push(Dense::new(rng, sizes[i], sizes[i + 1], act));
+        }
+        Mlp { layers }
+    }
+
+    /// Replaces the final layer with a small-uniform-initialized one
+    /// (DDPG-style: keeps initial outputs near zero).
+    pub fn with_small_final_layer(mut self, rng: &mut StdRng, scale: f64) -> Self {
+        if let Some(last) = self.layers.last() {
+            let (in_dim, out_dim) = (last.in_dim(), last.out_dim());
+            let act = Activation::Identity;
+            *self.layers.last_mut().unwrap() = Dense::new_small(rng, in_dim, out_dim, act, scale);
+        }
+        self
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Dense::in_dim)
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Dense::out_dim)
+    }
+
+    /// Mutable access to the final layer (informed output initialization).
+    pub fn final_layer_mut(&mut self) -> Option<&mut Dense> {
+        self.layers.last_mut()
+    }
+
+    /// Forward pass with caching (training).
+    pub fn forward(&mut self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in self.layers.iter_mut() {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in self.layers.iter() {
+            x = layer.forward_inference(&x);
+        }
+        x
+    }
+
+    /// Backward pass through all layers; returns the input gradient.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        let mut g = grad_output.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+}
+
+impl Network for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        for layer in self.layers.iter_mut() {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{mse_loss, mse_loss_grad};
+    use crate::optimizer::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&mut rng, &[5, 8, 3], Activation::Relu, Activation::Identity);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn single_size_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Mlp::new(&mut rng, &[5], Activation::Relu, Activation::Identity);
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&mut rng, &[3, 4, 2], Activation::Tanh, Activation::Identity);
+        let x = [0.2, -0.5, 0.8];
+        let target = [1.0, -1.0];
+        let y = mlp.forward(&x);
+        let grad = mse_loss_grad(&y, &target);
+        mlp.backward(&grad);
+
+        // Spot-check parameter gradients against central finite differences.
+        let flat = mlp.flat_params();
+        let mut grads = Vec::new();
+        mlp.visit_params(&mut |_p, g| grads.extend_from_slice(g));
+        let h = 1e-6;
+        for &idx in &[0usize, 5, 11, flat.len() - 1] {
+            let mut up = flat.clone();
+            up[idx] += h;
+            let mut dn = flat.clone();
+            dn[idx] -= h;
+            mlp.load_flat_params(&up);
+            let lu = mse_loss(&mlp.forward_inference(&x), &target);
+            mlp.load_flat_params(&dn);
+            let ld = mse_loss(&mlp.forward_inference(&x), &target);
+            mlp.load_flat_params(&flat);
+            let numeric = (lu - ld) / (2.0 * h);
+            assert!(
+                (numeric - grads[idx]).abs() < 1e-5,
+                "param {idx}: {numeric} vs {}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn can_learn_xor_like_function() {
+        // Regression on f(x1, x2) = x1 * x2 over {-1, 1}^2 — needs the
+        // hidden layer; a linear model cannot fit it.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&mut rng, &[2, 8, 1], Activation::Tanh, Activation::Identity);
+        let data = [
+            ([-1.0, -1.0], 1.0),
+            ([-1.0, 1.0], -1.0),
+            ([1.0, -1.0], -1.0),
+            ([1.0, 1.0], 1.0),
+        ];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..400 {
+            mlp.zero_grad();
+            for (x, t) in data.iter() {
+                let y = mlp.forward(x);
+                let g = mse_loss_grad(&y, &[*t]);
+                mlp.backward(&g);
+            }
+            opt.step(&mut mlp);
+        }
+        for (x, t) in data.iter() {
+            let y = mlp.forward_inference(x)[0];
+            assert!((y - t).abs() < 0.2, "f({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn small_final_layer_outputs_near_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(
+            &mut rng,
+            &[4, 16, 3],
+            Activation::Relu,
+            Activation::Identity,
+        )
+        .with_small_final_layer(&mut rng, 1e-3);
+        let y = mlp.forward_inference(&[1.0, -1.0, 2.0, 0.5]);
+        assert!(y.iter().all(|v| v.abs() < 0.1), "{y:?}");
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_behaviour() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = Mlp::new(&mut rng, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let mut b = Mlp::new(
+            &mut rng2,
+            &[3, 5, 2],
+            Activation::Tanh,
+            Activation::Identity,
+        );
+        b.load_flat_params(&a.flat_params());
+        let x = [0.1, 0.2, 0.3];
+        assert_eq!(a.forward_inference(&x), b.forward_inference(&x));
+    }
+}

@@ -1,0 +1,260 @@
+//! Gradient-descent optimizers over [`Network`] parameter visitors.
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored in the
+    /// network, then leaves the gradients untouched (callers decide when to
+    /// zero them).
+    fn step(&mut self, network: &mut dyn Network);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (used by decay schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Plain SGD with optional classical momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f64) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with classical momentum `v = μ v - lr g; p += v`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, network: &mut dyn Network) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        network.visit_params(&mut |p, g| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; p.len()]);
+            }
+            let v = &mut velocity[idx];
+            debug_assert_eq!(v.len(), p.len(), "Sgd: topology changed between steps");
+            if momentum > 0.0 {
+                for ((pi, gi), vi) in p.iter_mut().zip(g.iter()).zip(v.iter_mut()) {
+                    *vi = momentum * *vi - lr * gi;
+                    *pi += *vi;
+                }
+            } else {
+                for (pi, gi) in p.iter_mut().zip(g.iter()) {
+                    *pi -= lr * gi;
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, network: &mut dyn Network) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let mut idx = 0;
+        let m_state = &mut self.m;
+        let v_state = &mut self.v;
+        network.visit_params(&mut |p, g| {
+            if m_state.len() <= idx {
+                m_state.push(vec![0.0; p.len()]);
+                v_state.push(vec![0.0; p.len()]);
+            }
+            let m = &mut m_state[idx];
+            let v = &mut v_state[idx];
+            debug_assert_eq!(m.len(), p.len(), "Adam: topology changed between steps");
+            for i in 0..p.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                p[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy quadratic "network": loss = Σ (p_i - target_i)², so the gradient
+    /// is 2 (p - target).
+    struct Quadratic {
+        p: Vec<f64>,
+        g: Vec<f64>,
+        target: Vec<f64>,
+    }
+
+    impl Quadratic {
+        fn new(start: Vec<f64>, target: Vec<f64>) -> Self {
+            let n = start.len();
+            Quadratic {
+                p: start,
+                g: vec![0.0; n],
+                target,
+            }
+        }
+
+        fn compute_grads(&mut self) {
+            for i in 0..self.p.len() {
+                self.g[i] = 2.0 * (self.p[i] - self.target[i]);
+            }
+        }
+
+        fn loss(&self) -> f64 {
+            self.p
+                .iter()
+                .zip(self.target.iter())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum()
+        }
+    }
+
+    impl Network for Quadratic {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+            f(&mut self.p, &mut self.g);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut q = Quadratic::new(vec![5.0, -3.0], vec![1.0, 2.0]);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            q.compute_grads();
+            opt.step(&mut q);
+        }
+        assert!(q.loss() < 1e-10, "loss = {}", q.loss());
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let run = |mut opt: Sgd| {
+            let mut q = Quadratic::new(vec![10.0], vec![0.0]);
+            for _ in 0..20 {
+                q.compute_grads();
+                opt.step(&mut q);
+            }
+            q.loss()
+        };
+        let plain = run(Sgd::new(0.01));
+        let momentum = run(Sgd::with_momentum(0.01, 0.9));
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut q = Quadratic::new(vec![5.0, -3.0, 0.7], vec![1.0, 2.0, -0.5]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            q.compute_grads();
+            opt.step(&mut q);
+        }
+        assert!(q.loss() < 1e-6, "loss = {}", q.loss());
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, |Δp| of the very first step ≈ lr.
+        let mut q = Quadratic::new(vec![100.0], vec![0.0]);
+        let mut opt = Adam::new(0.01);
+        q.compute_grads();
+        let before = q.p[0];
+        opt.step(&mut q);
+        assert!(((before - q.p[0]).abs() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut s = Sgd::new(0.5);
+        s.set_learning_rate(0.25);
+        assert_eq!(s.learning_rate(), 0.25);
+        let mut a = Adam::new(0.1);
+        a.set_learning_rate(0.05);
+        assert_eq!(a.learning_rate(), 0.05);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the neural-network substrate.
+
+use eadrl_nn::{Activation, Adam, Dense, Lstm, Mlp, Network, Optimizer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dense_gradients_match_finite_differences(
+        seed in 0u64..1000,
+        input in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Dense::new(&mut rng, 3, 2, Activation::Tanh);
+        layer.forward(&input);
+        let gin = layer.backward(&[1.0, -0.5]);
+        let loss = |l: &Dense, x: &[f64]| -> f64 {
+            let y = l.forward_inference(x);
+            y[0] - 0.5 * y[1]
+        };
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut up = input.clone();
+            up[i] += h;
+            let mut dn = input.clone();
+            dn[i] -= h;
+            let numeric = (loss(&layer, &up) - loss(&layer, &dn)) / (2.0 * h);
+            prop_assert!((numeric - gin[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mlp_flat_param_roundtrip_preserves_outputs(
+        seed in 0u64..1000,
+        input in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Mlp::new(&mut rng, &[4, 6, 2], Activation::Relu, Activation::Identity);
+        let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut b = Mlp::new(&mut rng2, &[4, 6, 2], Activation::Relu, Activation::Identity);
+        b.load_flat_params(&a.flat_params());
+        prop_assert_eq!(a.forward_inference(&input), b.forward_inference(&input));
+    }
+
+    #[test]
+    fn clip_grad_norm_enforces_the_bound(
+        seed in 0u64..1000,
+        grad in prop::collection::vec(-100.0f64..100.0, 2),
+        bound in 0.1f64..10.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&mut rng, &[2, 4, 2], Activation::Tanh, Activation::Identity);
+        mlp.forward(&[1.0, -1.0]);
+        mlp.backward(&grad);
+        mlp.clip_grad_norm(bound);
+        prop_assert!(mlp.grad_norm() <= bound + 1e-9);
+    }
+
+    #[test]
+    fn adam_steps_keep_parameters_finite(
+        seed in 0u64..1000,
+        targets in prop::collection::vec(-10.0f64..10.0, 1..8),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&mut rng, &[1, 4, 1], Activation::Tanh, Activation::Identity);
+        let mut opt = Adam::new(0.05);
+        for (i, &t) in targets.iter().enumerate() {
+            mlp.zero_grad();
+            let y = mlp.forward(&[i as f64 / 4.0]);
+            mlp.backward(&[2.0 * (y[0] - t)]);
+            opt.step(&mut mlp);
+        }
+        prop_assert!(mlp.flat_params().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn soft_update_interpolates(seed in 0u64..1000, tau in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&mut rng, &[2, 3, 1], Activation::Relu, Activation::Identity);
+        let before = net.flat_params();
+        let source: Vec<f64> = before.iter().map(|v| v + 1.0).collect();
+        net.soft_update_from(&source, tau);
+        for ((b, s), a) in before.iter().zip(source.iter()).zip(net.flat_params().iter()) {
+            let expect = tau * s + (1.0 - tau) * b;
+            prop_assert!((a - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lstm_is_deterministic_and_finite(
+        seed in 0u64..1000,
+        inputs in prop::collection::vec(-5.0f64..5.0, 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lstm = Lstm::new(&mut rng, 1, 4);
+        let seq: Vec<Vec<f64>> = inputs.iter().map(|&v| vec![v]).collect();
+        let a = lstm.forward_inference(&seq);
+        let b = lstm.forward_inference(&seq);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        // Hidden states are bounded by the tanh output gate.
+        prop_assert!(a.iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! The episodic-environment interface.
+
+/// A Markov decision process with continuous states and actions.
+///
+/// The EA-DRL environment (`eadrl-core`) implements this: states are
+/// windows of ensemble outputs, actions are ensemble weight vectors, and
+/// the transition is deterministic (§II-B of the paper).
+pub trait Environment {
+    /// Dimensionality of state vectors.
+    fn state_dim(&self) -> usize;
+
+    /// Dimensionality of action vectors.
+    fn action_dim(&self) -> usize;
+
+    /// Starts a new episode and returns the initial state.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Executes `action`; returns `(next_state, reward, done)`.
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool);
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::Environment;
+
+    /// A 1-D "move toward the target" environment used across the crate's
+    /// tests: state is the current position, the action nudges it, and the
+    /// reward is the negative squared distance to a fixed target.
+    pub struct PointMass {
+        pub position: f64,
+        pub target: f64,
+        pub steps: usize,
+        pub max_steps: usize,
+    }
+
+    impl PointMass {
+        pub fn new(target: f64, max_steps: usize) -> Self {
+            PointMass {
+                position: 0.0,
+                target,
+                steps: 0,
+                max_steps,
+            }
+        }
+    }
+
+    impl Environment for PointMass {
+        fn state_dim(&self) -> usize {
+            1
+        }
+
+        fn action_dim(&self) -> usize {
+            1
+        }
+
+        fn reset(&mut self) -> Vec<f64> {
+            self.position = 0.0;
+            self.steps = 0;
+            vec![self.position]
+        }
+
+        fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+            self.position += action[0].clamp(-1.0, 1.0) * 0.2;
+            self.steps += 1;
+            let dist = self.position - self.target;
+            let reward = -dist * dist;
+            (vec![self.position], reward, self.steps >= self.max_steps)
+        }
+    }
+
+    #[test]
+    fn point_mass_rewards_proximity() {
+        let mut env = PointMass::new(1.0, 10);
+        let s0 = env.reset();
+        assert_eq!(s0, vec![0.0]);
+        let (_, r_toward, _) = env.step(&[1.0]);
+        env.reset();
+        let (_, r_away, _) = env.step(&[-1.0]);
+        assert!(r_toward > r_away);
+    }
+
+    #[test]
+    fn point_mass_terminates() {
+        let mut env = PointMass::new(1.0, 3);
+        env.reset();
+        assert!(!env.step(&[0.0]).2);
+        assert!(!env.step(&[0.0]).2);
+        assert!(env.step(&[0.0]).2);
+    }
+}

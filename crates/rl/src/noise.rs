@@ -1,0 +1,190 @@
+//! Exploration-noise processes for continuous actions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A stateful noise process producing one perturbation vector per call.
+pub trait Noise {
+    /// Next noise vector.
+    fn sample(&mut self, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Resets any internal state (called at episode boundaries).
+    fn reset(&mut self);
+
+    /// Dimensionality of the produced vectors.
+    fn dim(&self) -> usize;
+}
+
+/// Ornstein–Uhlenbeck process — the temporally correlated noise DDPG uses
+/// for exploration in physical-control tasks:
+/// `x ← x + θ (μ - x) + σ N(0, 1)`.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeck {
+    mu: f64,
+    theta: f64,
+    sigma: f64,
+    state: Vec<f64>,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Standard DDPG parameters are `theta = 0.15`, `sigma = 0.2`.
+    pub fn new(dim: usize, mu: f64, theta: f64, sigma: f64) -> Self {
+        OrnsteinUhlenbeck {
+            mu,
+            theta,
+            sigma,
+            state: vec![mu; dim],
+        }
+    }
+}
+
+impl Noise for OrnsteinUhlenbeck {
+    fn sample(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        for x in self.state.iter_mut() {
+            *x += self.theta * (self.mu - *x) + self.sigma * gaussian(rng);
+        }
+        self.state.clone()
+    }
+
+    fn reset(&mut self) {
+        for x in self.state.iter_mut() {
+            *x = self.mu;
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.state.len()
+    }
+}
+
+/// Uncorrelated Gaussian noise `N(0, σ²)` per component, with optional
+/// multiplicative decay per sample (annealed exploration).
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    dim: usize,
+    sigma: f64,
+    initial_sigma: f64,
+    decay: f64,
+}
+
+impl GaussianNoise {
+    /// Constant-scale Gaussian noise.
+    pub fn new(dim: usize, sigma: f64) -> Self {
+        GaussianNoise {
+            dim,
+            sigma,
+            initial_sigma: sigma,
+            decay: 1.0,
+        }
+    }
+
+    /// Gaussian noise whose σ is multiplied by `decay` after every sample.
+    pub fn with_decay(dim: usize, sigma: f64, decay: f64) -> Self {
+        GaussianNoise {
+            dim,
+            sigma,
+            initial_sigma: sigma,
+            decay: decay.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Current σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Noise for GaussianNoise {
+    fn sample(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        let out = (0..self.dim).map(|_| self.sigma * gaussian(rng)).collect();
+        self.sigma *= self.decay;
+        out
+    }
+
+    fn reset(&mut self) {
+        self.sigma = self.initial_sigma;
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ou_reverts_to_mean() {
+        let mut ou = OrnsteinUhlenbeck::new(1, 0.0, 0.15, 0.0); // no noise
+        ou.state[0] = 10.0;
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            ou.sample(&mut rng);
+        }
+        assert!(ou.state[0].abs() < 0.01, "state = {}", ou.state[0]);
+    }
+
+    #[test]
+    fn ou_is_temporally_correlated() {
+        let mut ou = OrnsteinUhlenbeck::new(1, 0.0, 0.15, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..500).map(|_| ou.sample(&mut rng)[0]).collect();
+        // Lag-1 autocorrelation of OU with theta = 0.15 is ≈ 0.85.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let cov: f64 = samples
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        assert!(cov / var > 0.6, "autocorr = {}", cov / var);
+    }
+
+    #[test]
+    fn ou_reset_restores_mean() {
+        let mut ou = OrnsteinUhlenbeck::new(3, 0.5, 0.15, 0.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        ou.sample(&mut rng);
+        ou.reset();
+        assert_eq!(ou.state, vec![0.5; 3]);
+        assert_eq!(ou.dim(), 3);
+    }
+
+    #[test]
+    fn gaussian_noise_has_requested_scale() {
+        let mut g = GaussianNoise::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..2000).map(|_| g.sample(&mut rng)[0]).collect();
+        let var: f64 = samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn noise_vectors_have_requested_dimension() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ou = OrnsteinUhlenbeck::new(7, 0.0, 0.15, 0.2);
+        assert_eq!(ou.sample(&mut rng).len(), 7);
+        let mut g = GaussianNoise::new(5, 1.0);
+        assert_eq!(g.sample(&mut rng).len(), 5);
+        assert_eq!(g.dim(), 5);
+    }
+
+    #[test]
+    fn decay_shrinks_sigma_and_reset_restores() {
+        let mut g = GaussianNoise::with_decay(2, 1.0, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            g.sample(&mut rng);
+        }
+        assert!((g.sigma() - 0.9_f64.powi(10)).abs() < 1e-12);
+        g.reset();
+        assert_eq!(g.sigma(), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Experience replay with uniform and diversity (median-split) sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One stored transition `(s, a, r, s', done)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: Vec<f64>,
+    /// The executed action.
+    pub action: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Resulting state.
+    pub next_state: Vec<f64>,
+    /// Whether the episode terminated at `next_state`.
+    pub done: bool,
+}
+
+/// How mini-batches are drawn from the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Uniform random sampling — the original DDPG of Lillicrap et al.
+    Uniform,
+    /// The paper's diversity sampling (Eq. 4): half of the batch from
+    /// transitions with reward ≥ median, half from below-median ones, so
+    /// the critic and actor always see both good and bad actions.
+    Diversity,
+}
+
+/// Fixed-capacity ring-buffer of transitions.
+///
+/// ```
+/// use eadrl_rl::{ReplayBuffer, SamplingStrategy, Transition};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut buffer = ReplayBuffer::new(100);
+/// for reward in [0.1, 0.9, 0.5] {
+///     buffer.push(Transition {
+///         state: vec![0.0], action: vec![1.0],
+///         reward, next_state: vec![0.0], done: false,
+///     });
+/// }
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batch = buffer.sample(2, SamplingStrategy::Diversity, &mut rng);
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    storage: Vec<Transition>,
+    next_slot: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates an empty buffer holding at most `capacity` transitions
+    /// (`N_max` in the paper).
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            storage: Vec::with_capacity(capacity.min(4096)),
+            next_slot: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores a transition, overwriting the oldest once at capacity.
+    pub fn push(&mut self, t: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(t);
+        } else {
+            self.storage[self.next_slot] = t;
+            self.next_slot = (self.next_slot + 1) % self.capacity;
+        }
+    }
+
+    /// Draws `n` transitions (with replacement) using `strategy`.
+    ///
+    /// Diversity sampling degrades gracefully: when every reward equals the
+    /// median (e.g. constant rewards) one of the halves would be empty, and
+    /// the call falls back to uniform sampling for the missing half.
+    pub fn sample(
+        &self,
+        n: usize,
+        strategy: SamplingStrategy,
+        rng: &mut StdRng,
+    ) -> Vec<&Transition> {
+        if self.storage.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        match strategy {
+            SamplingStrategy::Uniform => (0..n)
+                .map(|_| &self.storage[rng.random_range(0..self.storage.len())])
+                .collect(),
+            SamplingStrategy::Diversity => {
+                let median = self.reward_median();
+                let (high, low): (Vec<usize>, Vec<usize>) =
+                    (0..self.storage.len()).partition(|&i| self.storage[i].reward >= median);
+                let mut out = Vec::with_capacity(n);
+                let half = n / 2;
+                for (pool, count) in [(&high, half), (&low, n - half)] {
+                    for _ in 0..count {
+                        let idx = if pool.is_empty() {
+                            rng.random_range(0..self.storage.len())
+                        } else {
+                            pool[rng.random_range(0..pool.len())]
+                        };
+                        out.push(&self.storage[idx]);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Median of the stored rewards (`NaN` when empty).
+    pub fn reward_median(&self) -> f64 {
+        if self.storage.is_empty() {
+            return f64::NAN;
+        }
+        let mut rewards: Vec<f64> = self.storage.iter().map(|t| t.reward).collect();
+        rewards.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = rewards.len();
+        if n % 2 == 1 {
+            rewards[n / 2]
+        } else {
+            0.5 * (rewards[n / 2 - 1] + rewards[n / 2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(reward: f64) -> Transition {
+        Transition {
+            state: vec![0.0],
+            action: vec![0.0],
+            reward,
+            next_state: vec![0.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn ring_overwrite_keeps_capacity() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        // Oldest (0, 1) overwritten by 3 and 4.
+        let rewards: Vec<f64> = buf.storage.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn uniform_sampling_covers_buffer() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = buf.sample(200, SamplingStrategy::Uniform, &mut rng);
+        assert_eq!(batch.len(), 200);
+        let distinct: std::collections::BTreeSet<i64> =
+            batch.iter().map(|x| x.reward as i64).collect();
+        assert!(distinct.len() >= 8, "uniform sample too concentrated");
+    }
+
+    #[test]
+    fn diversity_sampling_balances_median_halves() {
+        let mut buf = ReplayBuffer::new(100);
+        // 90 bad transitions, 10 good ones.
+        for _ in 0..90 {
+            buf.push(t(0.0));
+        }
+        for _ in 0..10 {
+            buf.push(t(10.0));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = buf.sample(100, SamplingStrategy::Diversity, &mut rng);
+        let high = batch.iter().filter(|x| x.reward >= 5.0).count();
+        // Exactly half the batch must come from the >= median pool.
+        // Median of (90 zeros, 10 tens) = 0, so "high" pool = everything;
+        // the balancing shows up through the below-median half being empty
+        // and falling back. Instead check a clean split:
+        let _ = high;
+        let mut buf2 = ReplayBuffer::new(100);
+        for i in 0..50 {
+            buf2.push(t(i as f64)); // rewards 0..49, median 24.5
+        }
+        let batch2 = buf2.sample(100, SamplingStrategy::Diversity, &mut rng);
+        let high2 = batch2.iter().filter(|x| x.reward >= 24.5).count();
+        assert_eq!(high2, 50, "diversity batch must be half high, half low");
+    }
+
+    #[test]
+    fn diversity_sampling_handles_constant_rewards() {
+        let mut buf = ReplayBuffer::new(10);
+        for _ in 0..10 {
+            buf.push(t(1.0));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = buf.sample(8, SamplingStrategy::Diversity, &mut rng);
+        assert_eq!(batch.len(), 8);
+    }
+
+    #[test]
+    fn empty_buffer_samples_nothing() {
+        let buf = ReplayBuffer::new(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(buf
+            .sample(4, SamplingStrategy::Uniform, &mut rng)
+            .is_empty());
+        assert!(buf.reward_median().is_nan());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut buf = ReplayBuffer::new(10);
+        buf.push(t(1.0));
+        buf.push(t(3.0));
+        buf.push(t(2.0));
+        assert_eq!(buf.reward_median(), 2.0);
+        buf.push(t(4.0));
+        assert_eq!(buf.reward_median(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

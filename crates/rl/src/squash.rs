@@ -1,0 +1,192 @@
+//! Differentiable output maps applied to the raw actor output.
+
+use serde::{Deserialize, Serialize};
+
+/// How raw actor outputs are mapped into the environment's action space.
+///
+/// The EA-DRL paper applies "a standard normalization … to the output of
+/// the policy network, so that all the weights are positive and sum to
+/// one" — that is [`ActionSquash::Softmax`]. [`ActionSquash::Tanh`] is the
+/// classical DDPG bounded-action map and [`ActionSquash::Identity`] leaves
+/// actions unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActionSquash {
+    /// No transformation.
+    Identity,
+    /// Per-component `tanh` (actions in `(-1, 1)`).
+    Tanh,
+    /// Softmax onto the probability simplex (positive, sums to one).
+    Softmax,
+    /// `softmax(scale · tanh(raw))`: softmax over *bounded* logits.
+    ///
+    /// Plain softmax lets the deterministic policy gradient push one logit
+    /// up forever; the action saturates to a one-hot vector, the softmax
+    /// Jacobian vanishes, and learning dies. Bounding the logits to
+    /// `[-scale, scale]` caps how concentrated the weight vector can get
+    /// (max weight ≈ `e^{2·scale} / (e^{2·scale} + m - 1)`) and keeps
+    /// gradients alive.
+    BoundedSoftmax {
+        /// Logit bound; 3.0 allows ≈ 90 % concentration in a 43-model pool.
+        scale: f64,
+    },
+}
+
+impl ActionSquash {
+    /// Applies the map to a raw actor output.
+    pub fn forward(self, raw: &[f64]) -> Vec<f64> {
+        match self {
+            ActionSquash::Identity => raw.to_vec(),
+            ActionSquash::Tanh => raw.iter().map(|x| x.tanh()).collect(),
+            ActionSquash::Softmax => eadrl_linalg_softmax(raw),
+            ActionSquash::BoundedSoftmax { scale } => {
+                let z: Vec<f64> = raw.iter().map(|x| scale * x.tanh()).collect();
+                eadrl_linalg_softmax(&z)
+            }
+        }
+    }
+
+    /// Vector-Jacobian product: given the raw actor output `raw`, the
+    /// squashed output `y` and a gradient `dy` with respect to `y`, returns
+    /// the gradient with respect to `raw`. This is what lets the
+    /// deterministic policy gradient flow through the squash into the
+    /// actor network.
+    pub fn backward(self, raw: &[f64], output: &[f64], grad_output: &[f64]) -> Vec<f64> {
+        match self {
+            ActionSquash::Identity => grad_output.to_vec(),
+            ActionSquash::Tanh => output
+                .iter()
+                .zip(grad_output.iter())
+                .map(|(y, g)| g * (1.0 - y * y))
+                .collect(),
+            ActionSquash::Softmax => softmax_vjp(output, grad_output),
+            ActionSquash::BoundedSoftmax { scale } => {
+                let gz = softmax_vjp(output, grad_output);
+                raw.iter()
+                    .zip(gz.iter())
+                    .map(|(x, g)| {
+                        let t = x.tanh();
+                        g * scale * (1.0 - t * t)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// `Jᵀ g` for the softmax: `J = diag(p) - p pᵀ  =>  Jᵀ g = p ⊙ (g - p·g)`.
+fn softmax_vjp(output: &[f64], grad_output: &[f64]) -> Vec<f64> {
+    let dot: f64 = output
+        .iter()
+        .zip(grad_output.iter())
+        .map(|(p, g)| p * g)
+        .sum();
+    output
+        .iter()
+        .zip(grad_output.iter())
+        .map(|(p, g)| p * (g - dot))
+        .collect()
+}
+
+// Local stable softmax (duplicated from eadrl-linalg to keep this crate's
+// dependency list minimal — the rl crate does not otherwise need linalg).
+fn eadrl_linalg_softmax(a: &[f64]) -> Vec<f64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let m = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return vec![1.0 / a.len() as f64; a.len()];
+    }
+    let exps: Vec<f64> = a.iter().map(|x| (x - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(squash: ActionSquash, raw: &[f64]) {
+        let h = 1e-6;
+        let y = squash.forward(raw);
+        // Loss = Σ c_i y_i with arbitrary coefficients.
+        let coeffs: Vec<f64> = (0..raw.len()).map(|i| 1.0 + i as f64 * 0.7).collect();
+        let grad = squash.backward(raw, &y, &coeffs);
+        for j in 0..raw.len() {
+            let mut up = raw.to_vec();
+            up[j] += h;
+            let mut dn = raw.to_vec();
+            dn[j] -= h;
+            let lu: f64 = squash
+                .forward(&up)
+                .iter()
+                .zip(coeffs.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let ld: f64 = squash
+                .forward(&dn)
+                .iter()
+                .zip(coeffs.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let numeric = (lu - ld) / (2.0 * h);
+            assert!(
+                (numeric - grad[j]).abs() < 1e-5,
+                "{squash:?} dim {j}: {numeric} vs {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn identity_is_transparent() {
+        let raw = [1.0, -2.0];
+        assert_eq!(ActionSquash::Identity.forward(&raw), raw.to_vec());
+        finite_diff_check(ActionSquash::Identity, &raw);
+    }
+
+    #[test]
+    fn tanh_bounds_and_gradient() {
+        let raw = [0.3, -1.5, 4.0];
+        let y = ActionSquash::Tanh.forward(&raw);
+        assert!(y.iter().all(|v| v.abs() < 1.0));
+        finite_diff_check(ActionSquash::Tanh, &raw);
+    }
+
+    #[test]
+    fn softmax_is_simplex_and_gradient() {
+        let raw = [0.2, -0.4, 1.1, 0.0];
+        let y = ActionSquash::Softmax.forward(&raw);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(y.iter().all(|&v| v > 0.0));
+        finite_diff_check(ActionSquash::Softmax, &raw);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_inputs() {
+        let y = ActionSquash::Softmax.forward(&[1e6, 0.0]);
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bounded_softmax_is_simplex_and_gradient() {
+        let raw = [0.4, -0.9, 2.0, 0.1];
+        let sq = ActionSquash::BoundedSoftmax { scale: 3.0 };
+        let y = sq.forward(&raw);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(y.iter().all(|&v| v > 0.0));
+        finite_diff_check(sq, &raw);
+    }
+
+    #[test]
+    fn bounded_softmax_caps_concentration() {
+        // Even with an enormous logit, the max weight is bounded by the
+        // tanh saturation: e^{2·scale} / (e^{2·scale} + m - 1).
+        let sq = ActionSquash::BoundedSoftmax { scale: 3.0 };
+        let y = sq.forward(&[1e9, 0.0, 0.0, 0.0]);
+        let cap = (6.0_f64).exp() / ((6.0_f64).exp() + 3.0 * (3.0_f64).exp());
+        assert!(y[0] <= cap + 1e-9, "y0 = {} cap = {cap}", y[0]);
+        assert!(y[0] < 1.0 - 1e-3, "must not fully collapse");
+    }
+}

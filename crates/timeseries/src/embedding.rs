@@ -1,0 +1,113 @@
+//! Time-delay embedding of univariate series into supervised pairs.
+//!
+//! The paper applies "time series embedding to dimension k" (k = 5) before
+//! training the regression-family base models: each target `x_t` is paired
+//! with the feature vector `(x_{t-k}, …, x_{t-1})`.
+
+/// A time-delay-embedded dataset: row `i` of `inputs` are the `k` lagged
+/// values preceding `targets[i]`, oldest lag first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedded {
+    /// Lag vectors, one row per supervised example.
+    pub inputs: Vec<Vec<f64>>,
+    /// Next-step targets aligned with `inputs`.
+    pub targets: Vec<f64>,
+    /// Embedding dimension used.
+    pub dimension: usize,
+}
+
+impl Embedded {
+    /// Number of supervised examples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no examples could be formed.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// Embeds `series` with dimension `k`, producing `len - k` examples
+/// (empty when the series is too short).
+pub fn embed(series: &[f64], k: usize) -> Embedded {
+    if k == 0 || series.len() <= k {
+        return Embedded {
+            inputs: Vec::new(),
+            targets: Vec::new(),
+            dimension: k,
+        };
+    }
+    let n = series.len() - k;
+    let mut inputs = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    for t in k..series.len() {
+        inputs.push(series[t - k..t].to_vec());
+        targets.push(series[t]);
+    }
+    Embedded {
+        inputs,
+        targets,
+        dimension: k,
+    }
+}
+
+/// Iterator over all length-`w` sliding windows of `series` (overlapping,
+/// stride 1). Returns an empty iterator when `w == 0` or the series is
+/// shorter than `w`.
+pub fn sliding_windows(series: &[f64], w: usize) -> impl Iterator<Item = &[f64]> + '_ {
+    let count = if w == 0 || series.len() < w {
+        0
+    } else {
+        series.len() - w + 1
+    };
+    (0..count).map(move |i| &series[i..i + w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embed_aligns_lags_and_targets() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let e = embed(&s, 2);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.inputs[0], vec![1.0, 2.0]);
+        assert_eq!(e.targets[0], 3.0);
+        assert_eq!(e.inputs[2], vec![3.0, 4.0]);
+        assert_eq!(e.targets[2], 5.0);
+        assert_eq!(e.dimension, 2);
+    }
+
+    #[test]
+    fn embed_too_short_is_empty() {
+        assert!(embed(&[1.0, 2.0], 5).is_empty());
+        assert!(embed(&[1.0, 2.0], 2).is_empty());
+        assert!(embed(&[1.0, 2.0, 3.0], 0).is_empty());
+    }
+
+    #[test]
+    fn embed_paper_dimension_five() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let e = embed(&s, 5);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.inputs[4], vec![4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(e.targets[4], 9.0);
+    }
+
+    #[test]
+    fn sliding_windows_cover_series() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let w: Vec<&[f64]> = sliding_windows(&s, 2).collect();
+        assert_eq!(w, vec![&[1.0, 2.0][..], &[2.0, 3.0], &[3.0, 4.0]]);
+    }
+
+    #[test]
+    fn sliding_windows_degenerate() {
+        let s = [1.0, 2.0];
+        assert_eq!(sliding_windows(&s, 3).count(), 0);
+        assert_eq!(sliding_windows(&s, 0).count(), 0);
+        assert_eq!(sliding_windows(&s, 2).count(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Plain-text I/O for time series (dependency-free CSV subset).
+//!
+//! Enough to get real-world data in and experiment results out without
+//! pulling a CSV dependency: one value per row, or a chosen column of a
+//! comma-separated file with an optional header row.
+
+use crate::series::{Frequency, TimeSeries};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from series I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A cell could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell content.
+        cell: String,
+    },
+    /// The requested column does not exist on some row.
+    MissingColumn {
+        /// 1-based line number.
+        line: usize,
+        /// Requested column index.
+        column: usize,
+    },
+    /// The file contained no usable values.
+    Empty,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, cell } => {
+                write!(f, "line {line}: cannot parse {cell:?} as a number")
+            }
+            IoError::MissingColumn { line, column } => {
+                write!(f, "line {line}: no column {column}")
+            }
+            IoError::Empty => write!(f, "no values found"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads column `column` (0-based) of comma-separated `reader` into a
+/// series. A first row whose target cell does not parse as a number is
+/// treated as a header and skipped; blank lines are ignored.
+pub fn read_csv_column<R: Read>(
+    reader: R,
+    column: usize,
+    name: &str,
+    frequency: Frequency,
+) -> Result<TimeSeries, IoError> {
+    let buf = BufReader::new(reader);
+    let mut values = Vec::new();
+    let mut first_data_row = true;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').collect();
+        let cell = cells
+            .get(column)
+            .ok_or(IoError::MissingColumn {
+                line: idx + 1,
+                column,
+            })?
+            .trim();
+        match cell.parse::<f64>() {
+            Ok(v) => {
+                values.push(v);
+                first_data_row = false;
+            }
+            Err(_) if first_data_row => {
+                // Header row: skip once.
+                first_data_row = false;
+            }
+            Err(_) => {
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    cell: cell.to_string(),
+                })
+            }
+        }
+    }
+    if values.is_empty() {
+        return Err(IoError::Empty);
+    }
+    Ok(TimeSeries::new(name, frequency, values))
+}
+
+/// Reads a series from a CSV file on disk (see [`read_csv_column`]).
+pub fn read_csv_file(
+    path: impl AsRef<Path>,
+    column: usize,
+    frequency: Frequency,
+) -> Result<TimeSeries, IoError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("series")
+        .to_string();
+    let file = std::fs::File::open(path)?;
+    read_csv_column(file, column, &name, frequency)
+}
+
+/// Writes a series as a two-column CSV (`index,value`) with a header.
+pub fn write_csv<W: Write>(mut writer: W, series: &TimeSeries) -> Result<(), IoError> {
+    writeln!(writer, "index,{}", series.name().replace(',', "_"))?;
+    for (i, v) in series.values().iter().enumerate() {
+        writeln!(writer, "{i},{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_single_column() {
+        let csv = "1.0\n2.5\n-3.0\n";
+        let s = read_csv_column(csv.as_bytes(), 0, "x", Frequency::Other).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.5, -3.0]);
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    fn skips_header_and_blank_lines() {
+        let csv = "time,value\n\n0,10.5\n1,11.25\n";
+        let s = read_csv_column(csv.as_bytes(), 1, "v", Frequency::Hourly).unwrap();
+        assert_eq!(s.values(), &[10.5, 11.25]);
+        assert_eq!(s.frequency(), Frequency::Hourly);
+    }
+
+    #[test]
+    fn reports_bad_cells_with_line_numbers() {
+        let csv = "1.0\noops\n";
+        let err = read_csv_column(csv.as_bytes(), 0, "x", Frequency::Other).unwrap_err();
+        match err {
+            IoError::Parse { line, cell } => {
+                assert_eq!(line, 2);
+                assert_eq!(cell, "oops");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_missing_columns() {
+        let csv = "1.0,2.0\n3.0\n";
+        let err = read_csv_column(csv.as_bytes(), 1, "x", Frequency::Other).unwrap_err();
+        assert!(matches!(err, IoError::MissingColumn { line: 2, column: 1 }));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let err = read_csv_column("".as_bytes(), 0, "x", Frequency::Other).unwrap_err();
+        assert!(matches!(err, IoError::Empty));
+        // Header only also counts as empty.
+        let err2 = read_csv_column("value\n".as_bytes(), 0, "x", Frequency::Other).unwrap_err();
+        assert!(matches!(err2, IoError::Empty));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let s = TimeSeries::new("demand", Frequency::Daily, vec![1.5, 2.25, 3.0]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &s).unwrap();
+        let back = read_csv_column(buf.as_slice(), 1, "demand", Frequency::Daily).unwrap();
+        assert_eq!(back.values(), s.values());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join("eadrl_io_test.csv");
+        let s = TimeSeries::new("t", Frequency::Other, vec![4.0, 5.0]);
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_csv(&mut f, &s).unwrap();
+        drop(f);
+        let back = read_csv_file(&path, 1, Frequency::Other).unwrap();
+        assert_eq!(back.values(), &[4.0, 5.0]);
+        assert_eq!(back.name(), "eadrl_io_test");
+        let _ = std::fs::remove_file(&path);
+    }
+}

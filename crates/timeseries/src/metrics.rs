@@ -1,0 +1,209 @@
+//! Forecast accuracy metrics.
+//!
+//! RMSE is the paper's headline metric; NRMSE feeds the Figure-2a reward
+//! ablation (`reward = 1 - NRMSE`).
+
+/// Mean squared error. Returns `f64::NAN` for empty or mismatched inputs.
+pub fn mse(actual: &[f64], predicted: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return f64::NAN;
+    }
+    actual
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// ```
+/// use eadrl_timeseries::metrics::rmse;
+/// let err = rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 5.0]);
+/// assert!((err - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+/// ```
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    mse(actual, predicted).sqrt()
+}
+
+/// RMSE normalized by the range of the actual values.
+///
+/// When the actuals are constant (zero range) the normalizer falls back to
+/// `max(|mean|, 1)` so the metric stays finite — exactly the degenerate case
+/// the paper cites as making error-magnitude rewards unstable.
+pub fn nrmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    let r = rmse(actual, predicted);
+    if r.is_nan() {
+        return f64::NAN;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &a in actual {
+        lo = lo.min(a);
+        hi = hi.max(a);
+    }
+    let range = hi - lo;
+    if range > 1e-12 {
+        r / range
+    } else {
+        let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+        r / mean.abs().max(1.0)
+    }
+}
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return f64::NAN;
+    }
+    actual
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Mean absolute percentage error (in percent). Observations with
+/// `|actual| < 1e-12` are skipped; returns NaN when none remain.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return f64::NAN;
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (a, p) in actual.iter().zip(predicted.iter()) {
+        if a.abs() >= 1e-12 {
+            sum += ((a - p) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / count as f64
+    }
+}
+
+/// Symmetric MAPE (in percent), bounded in `[0, 200]`. Pairs where both
+/// values are ~0 contribute zero error.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return f64::NAN;
+    }
+    let sum: f64 = actual
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, p)| {
+            let denom = (a.abs() + p.abs()) / 2.0;
+            if denom < 1e-12 {
+                0.0
+            } else {
+                (a - p).abs() / denom
+            }
+        })
+        .sum();
+    100.0 * sum / actual.len() as f64
+}
+
+/// Coefficient of determination R². NaN on empty/mismatched input; can be
+/// negative for models worse than the mean predictor. Returns 1 for a
+/// perfect fit to a constant series.
+pub fn r2(actual: &[f64], predicted: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != predicted.len() {
+        return f64::NAN;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    if ss_tot < 1e-300 {
+        if ss_res < 1e-300 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        assert_eq!(mse(&A, &A), 0.0);
+        assert_eq!(rmse(&A, &A), 0.0);
+        assert_eq!(mae(&A, &A), 0.0);
+        assert_eq!(mape(&A, &A), 0.0);
+        assert_eq!(smape(&A, &A), 0.0);
+        assert_eq!(r2(&A, &A), 1.0);
+        assert_eq!(nrmse(&A, &A), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 2.0, 2.0, 2.0];
+        // errors: -1, 0, 1, 2 -> mse = 6/4
+        assert!((mse(&A, &p) - 1.5).abs() < 1e-12);
+        assert!((rmse(&A, &p) - 1.5f64.sqrt()).abs() < 1e-12);
+        assert!((mae(&A, &p) - 1.0).abs() < 1e-12);
+        // nrmse: range = 3
+        assert!((nrmse(&A, &p) - 1.5f64.sqrt() / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 2.0];
+        let p = [5.0, 1.0];
+        // Only the second pair counts: |(2-1)/2| = 0.5 -> 50 %.
+        assert!((mape(&a, &p) - 50.0).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn smape_is_bounded() {
+        let a = [1.0];
+        let p = [-1.0];
+        assert!((smape(&a, &p) - 200.0).abs() < 1e-12);
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let mean = A.iter().sum::<f64>() / 4.0;
+        let p = [mean; 4];
+        assert!(r2(&A, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_worse_than_mean_is_negative() {
+        let p = [10.0, 10.0, 10.0, 10.0];
+        assert!(r2(&A, &p) < 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_nan() {
+        assert!(mse(&A, &[1.0]).is_nan());
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(mae(&A, &[1.0]).is_nan());
+        assert!(smape(&A, &[1.0]).is_nan());
+        assert!(r2(&A, &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn nrmse_constant_actuals_stay_finite() {
+        let a = [5.0, 5.0, 5.0];
+        let p = [6.0, 6.0, 6.0];
+        let v = nrmse(&a, &p);
+        assert!(v.is_finite());
+        assert!((v - 1.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the time-series primitives.
+
+use eadrl_timeseries::embedding::{embed, sliding_windows};
+use eadrl_timeseries::metrics::{nrmse, rmse, smape};
+use eadrl_timeseries::stats::{acf, rolling_mean};
+use eadrl_timeseries::transform::{MinMaxScaler, Scaler};
+use eadrl_timeseries::{Frequency, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn embedding_preserves_alignment(
+        series in prop::collection::vec(-1e4f64..1e4, 8..80),
+        k in 1usize..6,
+    ) {
+        let e = embed(&series, k);
+        prop_assert_eq!(e.len(), series.len().saturating_sub(k));
+        for (i, (input, &target)) in e.inputs.iter().zip(e.targets.iter()).enumerate() {
+            prop_assert_eq!(input.len(), k);
+            // Window i covers series[i..i+k]; the target is series[i+k].
+            prop_assert_eq!(input.as_slice(), &series[i..i + k]);
+            prop_assert_eq!(target, series[i + k]);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_tile_the_series(
+        series in prop::collection::vec(-10.0f64..10.0, 4..40),
+        w in 1usize..5,
+    ) {
+        let count = sliding_windows(&series, w).count();
+        if series.len() >= w {
+            prop_assert_eq!(count, series.len() - w + 1);
+        } else {
+            prop_assert_eq!(count, 0);
+        }
+        for (i, win) in sliding_windows(&series, w).enumerate() {
+            prop_assert_eq!(win, &series[i..i + w]);
+        }
+    }
+
+    #[test]
+    fn minmax_maps_into_unit_interval(values in prop::collection::vec(-1e5f64..1e5, 2..50)) {
+        let s = MinMaxScaler::fit(&values);
+        for &v in &values {
+            let t = s.transform(v);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&t), "{t} out of [0,1]");
+            prop_assert!((s.inverse(t) - v).abs() < 1e-6 * v.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn acf_is_bounded_and_starts_at_one(series in prop::collection::vec(-100.0f64..100.0, 3..60)) {
+        let a = acf(&series, 5);
+        prop_assert!((a[0] - 1.0).abs() < 1e-9);
+        for &v in &a {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "acf {v} out of [-1,1]");
+        }
+    }
+
+    #[test]
+    fn rolling_mean_stays_within_series_bounds(
+        series in prop::collection::vec(-1e4f64..1e4, 3..50),
+        w in 1usize..6,
+    ) {
+        let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for m in rolling_mean(&series, w) {
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rmse_is_zero_iff_identical(series in prop::collection::vec(-1e4f64..1e4, 1..40)) {
+        prop_assert_eq!(rmse(&series, &series), 0.0);
+        let shifted: Vec<f64> = series.iter().map(|v| v + 1.0).collect();
+        prop_assert!((rmse(&series, &shifted) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrmse_is_scale_invariant(
+        actual in prop::collection::vec(-100.0f64..100.0, 4..30),
+        noise in prop::collection::vec(-1.0f64..1.0, 30),
+        scale in 0.1f64..100.0,
+    ) {
+        let predicted: Vec<f64> = actual.iter().zip(noise.iter()).map(|(a, n)| a + n).collect();
+        let spread = actual.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - actual.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let base = nrmse(&actual, &predicted);
+        let scaled_a: Vec<f64> = actual.iter().map(|v| v * scale).collect();
+        let scaled_p: Vec<f64> = predicted.iter().map(|v| v * scale).collect();
+        let scaled = nrmse(&scaled_a, &scaled_p);
+        prop_assert!((base - scaled).abs() < 1e-6 * base.max(1.0), "{base} vs {scaled}");
+    }
+
+    #[test]
+    fn smape_is_bounded(
+        actual in prop::collection::vec(-1e4f64..1e4, 1..30),
+        predicted in prop::collection::vec(-1e4f64..1e4, 30),
+    ) {
+        let p = &predicted[..actual.len()];
+        let v = smape(&actual, p);
+        prop_assert!((0.0..=200.0 + 1e-9).contains(&v), "smape {v}");
+    }
+
+    #[test]
+    fn split_partitions_exactly(
+        values in prop::collection::vec(-10.0f64..10.0, 1..60),
+        ratio in 0.0f64..1.0,
+    ) {
+        let ts = TimeSeries::new("p", Frequency::Other, values.clone());
+        let (train, test) = ts.split(ratio);
+        prop_assert_eq!(train.len() + test.len(), values.len());
+        let mut rebuilt = train.to_vec();
+        rebuilt.extend_from_slice(test);
+        prop_assert_eq!(rebuilt, values);
+    }
+}

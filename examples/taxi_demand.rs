@@ -1,0 +1,69 @@
+//! Taxi-demand scenario: compare EA-DRL against the combination baselines
+//! on a drifting demand series — the motivating workload of the paper's
+//! BRIGHT lineage (dynamic ensembles for taxi networks).
+//!
+//! ```text
+//! cargo run --release --example taxi_demand
+//! ```
+
+use eadrl::core::baselines::all_baselines;
+use eadrl::core::experiment::sanitize_predictions;
+use eadrl::core::{run_combiner, EaDrlConfig, EaDrlPolicy};
+use eadrl::datasets::{generate, DatasetId};
+use eadrl::models::{rolling_forecast, standard_pool};
+use eadrl::timeseries::metrics::{mae, rmse};
+
+fn main() {
+    for id in [DatasetId::TaxiDemand1, DatasetId::TaxiDemand2] {
+        let series = generate(id, 480, 42);
+        let (train, test) = series.split(0.75);
+        let fit_len = (train.len() as f64 * 0.75).round() as usize;
+        let (fit_part, warm_part) = train.split_at(fit_len);
+
+        // Fit the paper's 43-model pool on the fit segment.
+        let mut pool = standard_pool(5, 48, 42);
+        pool.retain_mut(|m| m.fit(fit_part).is_ok());
+        println!("== {} (pool of {} models) ==", series.name(), pool.len());
+
+        // Per-step prediction matrices for warm-up and online segments.
+        let to_matrix = |history: &[f64], segment: &[f64]| -> Vec<Vec<f64>> {
+            let per_model: Vec<Vec<f64>> = pool
+                .iter()
+                .map(|m| rolling_forecast(m.as_ref(), history, segment))
+                .collect();
+            (0..segment.len())
+                .map(|t| per_model.iter().map(|p| p[t]).collect())
+                .collect()
+        };
+        let mut warm_preds = to_matrix(fit_part, warm_part);
+        let mut online_preds = to_matrix(train, test);
+        sanitize_predictions(&mut warm_preds, fit_part);
+        sanitize_predictions(&mut online_preds, train);
+
+        // All combination methods plus EA-DRL.
+        let mut combiners = all_baselines(10, 42);
+        combiners.push(Box::new(EaDrlPolicy::new(EaDrlConfig::default())));
+
+        let mut rows: Vec<(String, f64, f64)> = Vec::new();
+        for mut combiner in combiners {
+            combiner.warm_up(&warm_preds, warm_part);
+            let out = run_combiner(combiner.as_mut(), &online_preds, test);
+            rows.push((
+                combiner.name().to_string(),
+                rmse(test, &out),
+                mae(test, &out),
+            ));
+        }
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        println!("{:<10} {:>8} {:>8}", "method", "RMSE", "MAE");
+        for (name, r, m) in &rows {
+            let marker = if name == "EA-DRL" {
+                "  <-- this paper"
+            } else {
+                ""
+            };
+            println!("{name:<10} {r:>8.3} {m:>8.3}{marker}");
+        }
+        println!();
+    }
+}

@@ -7,7 +7,9 @@
 //! cargo run -p eadrl-bench --release --bin ablation_study [-- --quick]
 //! ```
 
-use eadrl_bench::{build_pool, fit_pool, prediction_matrix, Scale, OMEGA};
+use eadrl_bench::{
+    build_pool, fit_pool, json_output, prediction_matrix, print_json_report, Scale, OMEGA,
+};
 use eadrl_core::baselines::all_baselines;
 use eadrl_core::experiment::sanitize_predictions;
 use eadrl_core::{
@@ -157,6 +159,7 @@ fn main() {
 
     let mut default_rmses: Vec<f64> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<eadrl_obs::json::JsonValue> = Vec::new();
     for (label, builder) in &variants {
         let mut ranks = Vec::new();
         let mut ratios = Vec::new();
@@ -202,11 +205,35 @@ fn main() {
         let avg_rank = ranks.iter().sum::<f64>() / ranks.len() as f64;
         let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
         eprintln!("  {label:<26} rank {avg_rank:.2} ratio {avg_ratio:.3}");
+        json_rows.push(eadrl_obs::json::JsonValue::Obj(vec![
+            ("variant".to_string(), (*label).into()),
+            ("avg_rank".to_string(), avg_rank.into()),
+            ("rmse_ratio".to_string(), avg_ratio.into()),
+        ]));
         rows.push(vec![
             label.to_string(),
             format!("{avg_rank:.2}"),
             format!("{avg_ratio:.3}"),
         ]);
+    }
+
+    if json_output() {
+        print_json_report(
+            "ablation_study",
+            vec![
+                (
+                    "datasets".to_string(),
+                    eadrl_obs::json::JsonValue::Arr(
+                        prepared.iter().map(|p| p.name.as_str().into()).collect(),
+                    ),
+                ),
+                (
+                    "variants".to_string(),
+                    eadrl_obs::json::JsonValue::Arr(json_rows),
+                ),
+            ],
+        );
+        return;
     }
 
     println!("\nAblation study - EA-DRL variants vs the 10 baseline combiners");

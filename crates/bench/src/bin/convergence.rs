@@ -7,7 +7,10 @@
 //! cargo run -p eadrl-bench --release --bin convergence [-- --quick]
 //! ```
 
-use eadrl_bench::{build_pool, fit_pool, mean_std, prediction_matrix, sparkline, Scale, OMEGA};
+use eadrl_bench::{
+    build_pool, fit_pool, json_output, mean_std, prediction_matrix, print_json_report, sparkline,
+    Scale, OMEGA,
+};
 use eadrl_core::{EnsembleEnv, RewardKind};
 use eadrl_datasets::{generate, DatasetId};
 use eadrl_eval::render_table;
@@ -72,6 +75,7 @@ fn main() {
     let scale = Scale::from_args();
     let episodes = (scale.episodes * 2).max(60);
     let mut rows = Vec::new();
+    let mut json_rows: Vec<eadrl_obs::json::JsonValue> = Vec::new();
     let mut div_eps = Vec::new();
     let mut uni_eps = Vec::new();
     let mut div_secs = Vec::new();
@@ -134,6 +138,13 @@ fn main() {
         uni_secs.push(usec);
         eprintln!("  {:<28} diversity {}", series.name(), sparkline(&last_div));
         eprintln!("  {:<28} uniform   {}", series.name(), sparkline(&last_uni));
+        json_rows.push(eadrl_obs::json::JsonValue::Obj(vec![
+            ("dataset".to_string(), series.name().into()),
+            ("episodes_to_convergence_diversity".to_string(), de.into()),
+            ("episodes_to_convergence_uniform".to_string(), ue.into()),
+            ("train_seconds_diversity".to_string(), dsec.into()),
+            ("train_seconds_uniform".to_string(), usec.into()),
+        ]));
         rows.push(vec![
             series.name().to_string(),
             format!("{de:.1}"),
@@ -141,6 +152,24 @@ fn main() {
             format!("{dsec:.2}"),
             format!("{usec:.2}"),
         ]);
+    }
+
+    if json_output() {
+        let (dm, _) = mean_std(&div_eps);
+        let (um, _) = mean_std(&uni_eps);
+        print_json_report(
+            "convergence",
+            vec![
+                ("episodes".to_string(), episodes.into()),
+                (
+                    "datasets".to_string(),
+                    eadrl_obs::json::JsonValue::Arr(json_rows),
+                ),
+                ("avg_episodes_diversity".to_string(), dm.into()),
+                ("avg_episodes_uniform".to_string(), um.into()),
+            ],
+        );
+        return;
     }
 
     println!("\nQ3 - convergence: diversity (Eq. 4) vs uniform replay sampling\n");

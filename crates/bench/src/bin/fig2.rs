@@ -8,10 +8,31 @@
 //! cargo run -p eadrl-bench --release --bin fig2 [-- --quick]
 //! ```
 
-use eadrl_bench::{build_pool, fit_pool, mean_std, prediction_matrix, sparkline, Scale, OMEGA};
+use eadrl_bench::{
+    build_pool, fit_pool, json_output, mean_std, prediction_matrix, print_json_report, sparkline,
+    Scale, OMEGA,
+};
 use eadrl_core::{EnsembleEnv, RewardKind};
 use eadrl_datasets::{generate, DatasetId};
+use eadrl_obs::json::JsonValue;
 use eadrl_rl::{DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy};
+
+fn curve_json(curve: &[EpisodeStats]) -> JsonValue {
+    JsonValue::Arr(
+        curve
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                JsonValue::Obj(vec![
+                    ("episode".to_string(), (i + 1).into()),
+                    ("avg_reward".to_string(), s.avg_reward.into()),
+                    ("critic_loss".to_string(), s.critic_loss.into()),
+                    ("actor_objective".to_string(), s.actor_objective.into()),
+                ])
+            })
+            .collect(),
+    )
+}
 
 fn learning_curve(
     preds: &[Vec<f64>],
@@ -70,10 +91,32 @@ fn main() {
         scale.seed,
     );
 
+    if json_output() {
+        print_json_report(
+            "fig2",
+            vec![
+                ("dataset".to_string(), series.name().into()),
+                ("episodes".to_string(), episodes.into()),
+                ("nrmse_curve".to_string(), curve_json(&nrmse_curve)),
+                ("rank_curve".to_string(), curve_json(&rank_curve)),
+            ],
+        );
+        return;
+    }
+
     println!("Figure 2 - learning curves of the actor-critic under two rewards.");
-    println!("Columns: episode, avg_reward_fig2a(1-NRMSE), avg_reward_fig2b(rank)\n");
+    println!(
+        "Columns: episode, avg_reward_fig2a(1-NRMSE), critic_loss_fig2a,\n         avg_reward_fig2b(rank), critic_loss_fig2b\n"
+    );
     for (i, (a, b)) in nrmse_curve.iter().zip(rank_curve.iter()).enumerate() {
-        println!("{},{:.4},{:.4}", i + 1, a.avg_reward, b.avg_reward);
+        println!(
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            i + 1,
+            a.avg_reward,
+            a.critic_loss,
+            b.avg_reward,
+            b.critic_loss
+        );
     }
 
     let a_vals: Vec<f64> = nrmse_curve.iter().map(|s| s.avg_reward).collect();

@@ -6,10 +6,11 @@
 //! cargo run -p eadrl-bench --release --bin table2 [-- --quick]
 //! ```
 
-use eadrl_bench::{evaluate_all, Scale};
+use eadrl_bench::{evaluate_all, json_output, print_json_report, Scale};
 use eadrl_eval::{
     average_ranks, friedman_test, nemenyi_critical_difference, pairwise_table, render_table,
 };
+use eadrl_obs::json::JsonValue;
 
 fn main() {
     let scale = Scale::from_args();
@@ -63,6 +64,54 @@ fn main() {
     // rolling-origin evaluation.
     let rho = 1.0 / actuals[0].len().max(2) as f64;
     let rows = pairwise_table(&actuals, &reference, &baselines, rho, 0.95);
+
+    if json_output() {
+        let methods: Vec<JsonValue> = rows
+            .iter()
+            .map(|row| {
+                let r = rank_of(&row.method);
+                JsonValue::Obj(vec![
+                    ("method".to_string(), row.method.as_str().into()),
+                    ("losses".to_string(), row.losses.into()),
+                    (
+                        "significant_losses".to_string(),
+                        row.significant_losses.into(),
+                    ),
+                    ("wins".to_string(), row.wins.into()),
+                    ("significant_wins".to_string(), row.significant_wins.into()),
+                    ("rank_mean".to_string(), r.mean.into()),
+                    ("rank_std".to_string(), r.std.into()),
+                ])
+            })
+            .collect();
+        let ea = rank_of("EA-DRL");
+        let per_dataset: Vec<JsonValue> = evals
+            .iter()
+            .zip(scores.iter())
+            .map(|(e, row)| {
+                JsonValue::Obj(vec![
+                    ("dataset".to_string(), e.dataset.as_str().into()),
+                    ("rmse".to_string(), row.as_slice().into()),
+                ])
+            })
+            .collect();
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("methods".to_string(), JsonValue::Arr(methods)),
+            ("eadrl_rank_mean".to_string(), ea.mean.into()),
+            ("eadrl_rank_std".to_string(), ea.std.into()),
+            (
+                "method_names".to_string(),
+                JsonValue::Arr(method_names.iter().map(|n| n.as_str().into()).collect()),
+            ),
+            ("per_dataset".to_string(), JsonValue::Arr(per_dataset)),
+        ];
+        if let Some(fr) = friedman_test(&scores) {
+            fields.push(("friedman_chi2".to_string(), fr.chi_square.into()));
+            fields.push(("friedman_p".to_string(), fr.p_value.into()));
+        }
+        print_json_report("table2", fields);
+        return;
+    }
 
     let mut table_rows: Vec<Vec<String>> = rows
         .iter()

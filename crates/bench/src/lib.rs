@@ -12,6 +12,8 @@ use eadrl_models::{
     gradient_boosting, lstm_forecaster, quick_pool, random_forest, rolling_forecast,
     stacked_lstm_forecaster, standard_pool, Arima, Forecaster,
 };
+use eadrl_obs::json::JsonValue;
+use eadrl_obs::Level;
 use eadrl_timeseries::TimeSeries;
 use std::time::Instant;
 
@@ -64,6 +66,23 @@ impl Scale {
             Scale::full()
         }
     }
+}
+
+/// True when `--json` was passed: the experiment binaries then print one
+/// machine-readable JSON document on stdout instead of the human tables
+/// (progress still goes to stderr either way).
+pub fn json_output() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints a one-document JSON report to stdout: `{"report": <kind>,
+/// <fields>...}`. The schema rides on the same zero-dependency JSON
+/// writer the telemetry layer uses, so reports and traces stay mutually
+/// parseable.
+pub fn print_json_report(kind: &str, mut fields: Vec<(String, JsonValue)>) {
+    let mut obj: Vec<(String, JsonValue)> = vec![("report".to_string(), kind.into())];
+    obj.append(&mut fields);
+    println!("{}", JsonValue::Obj(obj).to_json());
 }
 
 /// Generates all 20 series of Table I at the given scale.
@@ -146,20 +165,34 @@ pub fn evaluate_dataset(id: DatasetId, scale: Scale) -> DatasetEvaluation {
     )
 }
 
-/// Runs the full 20-dataset sweep, printing progress to stderr.
+/// Runs the full 20-dataset sweep, printing progress to stderr and
+/// emitting one `bench.dataset` telemetry event per dataset.
 pub fn evaluate_all(scale: Scale) -> Vec<DatasetEvaluation> {
+    let _span = eadrl_obs::span("bench.sweep");
     DatasetId::all()
         .into_iter()
         .map(|id| {
             let start = Instant::now();
             let eval = evaluate_dataset(id, scale);
+            let seconds = start.elapsed().as_secs_f64();
+            let best = eval.ranking().first().copied().unwrap_or("-").to_string();
+            eadrl_obs::event(
+                "bench.dataset",
+                Level::Info,
+                &[
+                    ("dataset", eval.dataset.as_str().into()),
+                    ("number", id.number().into()),
+                    ("pool_size", eval.pool_size.into()),
+                    ("best_method", best.as_str().into()),
+                    ("seconds", seconds.into()),
+                ],
+            );
             eprintln!(
-                "  [{:>2}/20] {:<28} pool={} best={} ({:.1}s)",
+                "  [{:>2}/20] {:<28} pool={} best={} ({seconds:.1}s)",
                 id.number(),
                 eval.dataset,
                 eval.pool_size,
-                eval.ranking().first().copied().unwrap_or("-"),
-                start.elapsed().as_secs_f64(),
+                best,
             );
             eval
         })

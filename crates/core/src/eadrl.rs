@@ -6,8 +6,20 @@ use crate::env::{normalize_window, EnsembleEnv, RewardKind};
 use crate::persist::PolicySnapshot;
 use eadrl_linalg::vector::dot;
 use eadrl_models::{rolling_forecast, Forecaster, ModelError};
+use eadrl_obs::Level;
 use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy};
 use serde::{Deserialize, Serialize};
+
+/// Shannon entropy of a weight vector (natural log) — 0 for a one-hot
+/// weighting, `ln m` for the uniform one. A telemetry-facing summary of
+/// how concentrated the ensemble currently is.
+pub fn weight_entropy(weights: &[f64]) -> f64 {
+    weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| -w * w.ln())
+        .sum()
+}
 
 /// What advances the policy's state window online.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -215,8 +227,13 @@ impl Combiner for EaDrlPolicy {
     }
 
     fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
+        let _span = eadrl_obs::span("eadrl.warm_up");
         let omega = self.config.omega;
         if actuals.len() <= omega + 1 || preds.is_empty() {
+            eadrl_obs::warn(
+                "eadrl.warm_up.skipped",
+                &[("val_len", actuals.len().into()), ("omega", omega.into())],
+            );
             return; // Too little data to train; stay uniform.
         }
         let m = preds[0].len();
@@ -230,6 +247,7 @@ impl Combiner for EaDrlPolicy {
         // DDPG's performance oscillates between episodes, so "last actor"
         // is routinely worse than "best actor seen".
         let mut best: Option<(f64, Vec<f64>)> = None;
+        let mut best_source = String::from("none");
         let mut selected_agent = None;
         // Static candidates: the informed weighting at several sharpness
         // levels, each expressed as an actor whose output bias encodes the
@@ -242,8 +260,17 @@ impl Combiner for EaDrlPolicy {
                 let bias = informed_logits(preds, actuals, temperature, self.config.ddpg.squash);
                 agent.init_actor_output_bias(&bias);
                 let score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+                eadrl_obs::event(
+                    "eadrl.candidate",
+                    Level::Debug,
+                    &[
+                        ("temperature", temperature.into()),
+                        ("holdout_rmse", score.into()),
+                    ],
+                );
                 if best.as_ref().is_none_or(|(b, _)| score < *b) {
                     best = Some((score, agent.actor_params()));
+                    best_source = format!("static(T={temperature})");
                     selected_agent = Some(agent);
                 }
             }
@@ -287,10 +314,20 @@ impl Combiner for EaDrlPolicy {
                 self.learning_curve = curve;
             }
             if let Some((score, params)) = restart_best {
+                eadrl_obs::event(
+                    "eadrl.restart",
+                    Level::Info,
+                    &[
+                        ("restart", restart.into()),
+                        ("init_rmse", init_score.into()),
+                        ("holdout_rmse", score.into()),
+                    ],
+                );
                 let margin = 1.0 - self.config.selection_margin.clamp(0.0, 0.5);
                 if best.as_ref().is_none_or(|(b, _)| score < *b * margin) {
                     agent.load_actor_params(&params);
                     best = Some((score, params));
+                    best_source = format!("restart({restart})");
                     selected_agent = Some(agent);
                 }
             }
@@ -298,6 +335,18 @@ impl Combiner for EaDrlPolicy {
         if let Some(agent) = selected_agent {
             self.agent = Some(agent);
         }
+        eadrl_obs::event(
+            "eadrl.selection",
+            Level::Info,
+            &[
+                ("source", best_source.as_str().into()),
+                (
+                    "holdout_rmse",
+                    best.as_ref().map(|(s, _)| *s).unwrap_or(f64::NAN).into(),
+                ),
+                ("deployed", self.agent.is_some().into()),
+            ],
+        );
         // Seed the online window with the latest actual values.
         self.window = actuals[actuals.len() - omega..].to_vec();
     }
@@ -308,6 +357,13 @@ impl Combiner for EaDrlPolicy {
             _ => vec![1.0 / m as f64; m],
         };
         self.last_weights = w.clone();
+        eadrl_obs::event_with("eadrl.weights", Level::Debug, || {
+            vec![
+                ("weights".to_string(), w.as_slice().into()),
+                ("entropy".to_string(), weight_entropy(&w).into()),
+                ("trained".to_string(), self.agent.is_some().into()),
+            ]
+        });
         w
     }
 
@@ -448,6 +504,7 @@ impl EaDrl {
     /// that cannot fit (series too short for their configuration) are
     /// dropped and reported via [`EaDrl::dropped_models`].
     pub fn fit(&mut self, train: &[f64]) -> Result<(), ModelError> {
+        let _span = eadrl_obs::span("eadrl.fit");
         let val_fraction = self.policy.config.val_fraction.clamp(0.05, 0.5);
         let fit_len = ((train.len() as f64) * (1.0 - val_fraction)).round() as usize;
         let omega = self.policy.config.omega;
@@ -518,6 +575,15 @@ impl EaDrl {
             }
         }
 
+        eadrl_obs::event_with("eadrl.fit.pool", Level::Info, || {
+            vec![
+                ("kept".to_string(), self.pool.len().into()),
+                ("dropped".to_string(), self.dropped.len().into()),
+                ("dropped_names".to_string(), self.dropped.join(",").into()),
+                ("train_len".to_string(), train.len().into()),
+                ("val_len".to_string(), val_part.len().into()),
+            ]
+        });
         self.policy.warm_up(&preds, val_part);
         self.fitted = true;
         Ok(())
@@ -538,6 +604,7 @@ impl EaDrl {
     /// inner step). Advances the policy's internal state window with the
     /// ensemble output.
     pub fn predict_next(&mut self, history: &[f64]) -> f64 {
+        let _span = eadrl_obs::span_at(Level::Debug, "eadrl.predict_next");
         let preds: Vec<f64> = self
             .pool
             .iter()

@@ -15,6 +15,7 @@
 
 use crate::combiner::Combiner;
 use crate::eadrl::{EaDrlConfig, EaDrlPolicy};
+use eadrl_obs::Level;
 use eadrl_timeseries::drift::PageHinkley;
 use serde::{Deserialize, Serialize};
 
@@ -97,18 +98,38 @@ impl AdaptiveEaDrl {
         }
     }
 
-    fn refresh(&mut self) {
+    fn refresh(&mut self, cause: &str) {
         if self.history.len() <= self.config.omega + 2 {
+            eadrl_obs::warn(
+                "eadrl.online.refresh.skipped",
+                &[
+                    ("cause", cause.into()),
+                    ("buffer_len", self.history.len().into()),
+                    ("needed", (self.config.omega + 3).into()),
+                ],
+            );
             return; // Not enough recent data to rebuild the environment.
         }
+        let _span = eadrl_obs::span("eadrl.online.refresh");
         let preds: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| p.clone()).collect();
         let actuals: Vec<f64> = self.history.iter().map(|(_, a)| *a).collect();
         let mut fresh = EaDrlPolicy::new(self.config.clone());
         fresh.warm_up(&preds, &actuals);
-        if fresh.is_trained() {
+        let deployed = fresh.is_trained();
+        if deployed {
             self.policy = fresh;
             self.refreshes += 1;
         }
+        eadrl_obs::event(
+            "eadrl.online.refresh",
+            Level::Info,
+            &[
+                ("cause", cause.into()),
+                ("buffer_len", self.history.len().into()),
+                ("deployed", deployed.into()),
+                ("refreshes_total", self.refreshes.into()),
+            ],
+        );
         self.steps_since_refresh = 0;
         if let Some(d) = self.detector.as_mut() {
             d.reset();
@@ -146,22 +167,33 @@ impl Combiner for AdaptiveEaDrl {
         self.push_history(preds, actual);
         self.steps_since_refresh += 1;
 
-        let should_refresh = match self.trigger {
-            RefreshTrigger::Never => false,
-            RefreshTrigger::Periodic { period } => self.steps_since_refresh >= period.max(1),
+        let cause = match self.trigger {
+            RefreshTrigger::Never => None,
+            RefreshTrigger::Periodic { period } => {
+                (self.steps_since_refresh >= period.max(1)).then_some("periodic")
+            }
             RefreshTrigger::DriftDetected { .. } => {
-                if actual.is_finite() {
-                    self.detector
+                let fired = actual.is_finite()
+                    && self
+                        .detector
                         .as_mut()
                         .map(|d| d.update((forecast - actual).abs()))
-                        .unwrap_or(false)
-                } else {
-                    false
+                        .unwrap_or(false);
+                if fired {
+                    eadrl_obs::event(
+                        "eadrl.online.drift",
+                        Level::Info,
+                        &[
+                            ("abs_error", (forecast - actual).abs().into()),
+                            ("steps_since_refresh", self.steps_since_refresh.into()),
+                        ],
+                    );
                 }
+                fired.then_some("drift")
             }
         };
-        if should_refresh {
-            self.refresh();
+        if let Some(cause) = cause {
+            self.refresh(cause);
         }
     }
 }

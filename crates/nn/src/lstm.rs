@@ -15,6 +15,9 @@ struct StepCache {
     f: Vec<f64>,
     g: Vec<f64>,
     o: Vec<f64>,
+    // Not read by the backward pass (it uses `tanh_c`), but kept so the
+    // serialized cache stays a complete record of the forward step.
+    #[allow(dead_code)]
     c: Vec<f64>,
     tanh_c: Vec<f64>,
 }

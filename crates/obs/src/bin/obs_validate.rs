@@ -1,0 +1,70 @@
+//! Validates a JSONL telemetry trace against the eadrl-obs wire
+//! contract. Used by CI on the quickstart trace.
+//!
+//! ```text
+//! obs_validate TRACE.jsonl [--require NAME]...
+//! ```
+//!
+//! Every non-empty line must parse as a JSON object with a numeric `ts`
+//! and string `name`/`kind`/`level` fields (the full [`eadrl_obs::Event`]
+//! contract). Each `--require NAME` additionally demands at least one
+//! event whose name — or any `/`-separated span path segment — equals
+//! NAME. Exits non-zero with a diagnostic on the first violation.
+
+use eadrl_obs::Event;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .ok_or("usage: obs_validate TRACE.jsonl [--require NAME]...")?;
+    let mut required: Vec<String> = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--require" => {
+                required.push(args.next().ok_or("--require needs a NAME argument")?);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut seen = vec![false; required.len()];
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::from_json_line(line)
+            .map_err(|e| format!("{path}:{}: invalid event: {e}", lineno + 1))?;
+        events += 1;
+        for (i, name) in required.iter().enumerate() {
+            if event.name_matches(name) {
+                seen[i] = true;
+            }
+        }
+    }
+    if events == 0 {
+        return Err(format!("{path}: trace contains no events"));
+    }
+    for (i, name) in required.iter().enumerate() {
+        if !seen[i] {
+            return Err(format!(
+                "{path}: no event named '{name}' in {events} events"
+            ));
+        }
+    }
+    println!("{path}: {events} events OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("obs_validate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

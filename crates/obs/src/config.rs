@@ -1,0 +1,153 @@
+//! Telemetry configuration, including the `EADRL_OBS` environment
+//! override.
+//!
+//! Grammar (case-insensitive level names):
+//!
+//! ```text
+//! EADRL_OBS=off                      # default: no-op sink, zero overhead
+//! EADRL_OBS=jsonl                    # JSON lines to stderr at debug level
+//! EADRL_OBS=jsonl@info               # ... at info level
+//! EADRL_OBS=jsonl:trace.jsonl        # JSON lines to a file
+//! EADRL_OBS=jsonl:trace.jsonl@trace  # ... at trace level
+//! ```
+//!
+//! `debug` is the JSONL default because the acceptance-grade trace (per
+//! step weight vectors, `predict_next` spans) lives at that level.
+
+use crate::event::Level;
+use std::path::PathBuf;
+
+/// Where emitted events go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkTarget {
+    /// Discard everything.
+    Noop,
+    /// JSON lines on standard error.
+    Stderr,
+    /// JSON lines appended to a file (truncated at init).
+    File(PathBuf),
+}
+
+/// Full telemetry configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Maximum level that is emitted; `None` disables event emission
+    /// entirely (metrics registries still work).
+    pub level: Option<Level>,
+    /// The sink to install.
+    pub target: SinkTarget,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::off()
+    }
+}
+
+impl ObsConfig {
+    /// Telemetry off: no-op sink, no event construction.
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            level: None,
+            target: SinkTarget::Noop,
+        }
+    }
+
+    /// JSONL to stderr at the given level.
+    pub fn jsonl_stderr(level: Level) -> ObsConfig {
+        ObsConfig {
+            level: Some(level),
+            target: SinkTarget::Stderr,
+        }
+    }
+
+    /// JSONL to a file at the given level.
+    pub fn jsonl_file(path: impl Into<PathBuf>, level: Level) -> ObsConfig {
+        ObsConfig {
+            level: Some(level),
+            target: SinkTarget::File(path.into()),
+        }
+    }
+
+    /// Parses an `EADRL_OBS` specification.
+    pub fn parse(spec: &str) -> Result<ObsConfig, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec.eq_ignore_ascii_case("off") || spec == "0" {
+            return Ok(ObsConfig::off());
+        }
+        // Optional trailing "@level" (split at the last '@' that parses).
+        let (body, level) = match spec.rsplit_once('@') {
+            Some((body, lvl)) => match Level::parse(&lvl.to_ascii_lowercase()) {
+                Some(level) => (body, Some(level)),
+                None => return Err(format!("unknown level '{lvl}' in EADRL_OBS")),
+            },
+            None => (spec, None),
+        };
+        let (format, path) = match body.split_once(':') {
+            Some((fmt, path)) => (fmt, Some(path)),
+            None => (body, None),
+        };
+        if !format.eq_ignore_ascii_case("jsonl") {
+            return Err(format!(
+                "unknown EADRL_OBS format '{format}' (expected 'off' or 'jsonl')"
+            ));
+        }
+        let level = level.unwrap_or(Level::Debug);
+        Ok(match path {
+            Some(p) if !p.is_empty() => ObsConfig::jsonl_file(p, level),
+            _ => ObsConfig::jsonl_stderr(level),
+        })
+    }
+
+    /// Reads `EADRL_OBS`; unset means off, malformed values fall back to
+    /// off with a one-line complaint on stderr (telemetry must never take
+    /// the process down).
+    pub fn from_env() -> ObsConfig {
+        match std::env::var("EADRL_OBS") {
+            Ok(spec) => ObsConfig::parse(&spec).unwrap_or_else(|err| {
+                eprintln!("eadrl-obs: {err}; telemetry disabled");
+                ObsConfig::off()
+            }),
+            Err(_) => ObsConfig::off(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_and_empty_disable() {
+        assert_eq!(ObsConfig::parse("off").unwrap(), ObsConfig::off());
+        assert_eq!(ObsConfig::parse("").unwrap(), ObsConfig::off());
+        assert_eq!(ObsConfig::parse("OFF").unwrap(), ObsConfig::off());
+    }
+
+    #[test]
+    fn jsonl_defaults_to_stderr_debug() {
+        let c = ObsConfig::parse("jsonl").unwrap();
+        assert_eq!(c.level, Some(Level::Debug));
+        assert_eq!(c.target, SinkTarget::Stderr);
+    }
+
+    #[test]
+    fn jsonl_with_path_and_level() {
+        let c = ObsConfig::parse("jsonl:/tmp/t.jsonl@trace").unwrap();
+        assert_eq!(c.level, Some(Level::Trace));
+        assert_eq!(c.target, SinkTarget::File(PathBuf::from("/tmp/t.jsonl")));
+    }
+
+    #[test]
+    fn level_only_override() {
+        let c = ObsConfig::parse("jsonl@info").unwrap();
+        assert_eq!(c.level, Some(Level::Info));
+        assert_eq!(c.target, SinkTarget::Stderr);
+    }
+
+    #[test]
+    fn bad_specs_error() {
+        assert!(ObsConfig::parse("csv").is_err());
+        assert!(ObsConfig::parse("jsonl@loud").is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Telemetry events: the JSONL schema every sink speaks.
+//!
+//! One event is one line. The wire contract (checked by the
+//! `obs_validate` binary and CI) is:
+//!
+//! ```json
+//! {"ts": 1754489600123456, "name": "ddpg.episode", "kind": "event",
+//!  "level": "info", "fields": {"total_reward": -3.2, "steps": 40}}
+//! ```
+//!
+//! * `ts` — microseconds since the UNIX epoch (integer);
+//! * `name` — dot-separated event name; span events use the full
+//!   hierarchical path, e.g. `eadrl.fit/ddpg.episode`;
+//! * `kind` — one of `span`, `event`, `metric`;
+//! * `level` — `error` | `warn` | `info` | `debug` | `trace`;
+//! * `fields` — flat object of numbers, strings, booleans and numeric
+//!   arrays (e.g. per-step weight vectors).
+
+use crate::json::{self, JsonValue};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity / verbosity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unexpected failures.
+    Error,
+    /// Contract violations and degraded behaviour (e.g. empty episodes).
+    Warn,
+    /// Episode/fit/refresh-grained progress; the default for JSONL traces
+    /// is one step more verbose ([`Level::Debug`]).
+    Info,
+    /// Per-step detail: weight vectors, prediction spans.
+    Debug,
+    /// Per-update detail inside the DDPG inner loop.
+    Trace,
+}
+
+impl Level {
+    /// The wire name (`"info"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a wire name; `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// What an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed scoped timer.
+    Span,
+    /// A point-in-time occurrence with payload fields.
+    Event,
+    /// A metric snapshot (registry export).
+    Metric,
+}
+
+impl EventKind {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Event => "event",
+            EventKind::Metric => "metric",
+        }
+    }
+
+    /// Parses a wire name; `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        match s {
+            "span" => Some(EventKind::Span),
+            "event" => Some(EventKind::Event),
+            "metric" => Some(EventKind::Metric),
+            _ => None,
+        }
+    }
+}
+
+/// A field value. `From` impls exist for the common primitives so call
+/// sites can write `("reward", reward.into())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A float.
+    F64(f64),
+    /// An unsigned integer (counts, sizes).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string (e.g. refresh cause).
+    Str(String),
+    /// A numeric vector (e.g. ensemble weights).
+    F64s(Vec<f64>),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::F64s(v)
+    }
+}
+
+impl From<&[f64]> for Value {
+    fn from(v: &[f64]) -> Self {
+        Value::F64s(v.to_vec())
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Value::F64(v) => JsonValue::Num(*v),
+            Value::U64(v) => JsonValue::Num(*v as f64),
+            Value::I64(v) => JsonValue::Num(*v as f64),
+            Value::Bool(v) => JsonValue::Bool(*v),
+            Value::Str(v) => JsonValue::Str(v.clone()),
+            Value::F64s(v) => JsonValue::Arr(v.iter().map(|&x| JsonValue::Num(x)).collect()),
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Value> {
+        match v {
+            // Non-finite numbers serialize as null; recover them as NaN.
+            JsonValue::Null => Some(Value::F64(f64::NAN)),
+            JsonValue::Num(n) => Some(Value::F64(*n)),
+            JsonValue::Bool(b) => Some(Value::Bool(*b)),
+            JsonValue::Str(s) => Some(Value::Str(s.clone())),
+            JsonValue::Arr(items) => {
+                let nums: Option<Vec<f64>> = items.iter().map(JsonValue::as_f64).collect();
+                nums.map(Value::F64s)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the UNIX epoch.
+    pub ts_us: u64,
+    /// Dot-separated name (span events: the full `/`-joined path).
+    pub name: String,
+    /// What the event records.
+    pub kind: EventKind,
+    /// Severity.
+    pub level: Level,
+    /// Payload fields, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+/// Current wall-clock time in microseconds since the UNIX epoch.
+pub fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+impl Event {
+    /// Creates an event stamped with the current wall clock.
+    pub fn new(name: impl Into<String>, kind: EventKind, level: Level) -> Event {
+        Event {
+            ts_us: now_us(),
+            name: name.into(),
+            kind,
+            level,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> Event {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True when the event name, split on the `/` span separator,
+    /// contains `segment` (so `require("eadrl.predict_next")` matches the
+    /// span `eadrl.forecast/eadrl.predict_next`).
+    pub fn name_matches(&self, segment: &str) -> bool {
+        self.name == segment || self.name.split('/').any(|part| part == segment)
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let fields = JsonValue::Obj(
+            self.fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        JsonValue::Obj(vec![
+            ("ts".to_string(), JsonValue::Num(self.ts_us as f64)),
+            ("name".to_string(), JsonValue::Str(self.name.clone())),
+            (
+                "kind".to_string(),
+                JsonValue::Str(self.kind.as_str().to_string()),
+            ),
+            (
+                "level".to_string(),
+                JsonValue::Str(self.level.as_str().to_string()),
+            ),
+            ("fields".to_string(), fields),
+        ])
+        .to_json()
+    }
+
+    /// Parses an event back from one JSON line. Numeric field values come
+    /// back as [`Value::F64`] (JSON does not distinguish integer kinds);
+    /// use [`Event::semantically_eq`] for round-trip comparisons.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let ts = v
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing numeric 'ts'")?;
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string 'name'")?
+            .to_string();
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .and_then(EventKind::parse)
+            .ok_or("missing or unknown 'kind'")?;
+        let level = v
+            .get("level")
+            .and_then(JsonValue::as_str)
+            .and_then(Level::parse)
+            .ok_or("missing or unknown 'level'")?;
+        let mut fields = Vec::new();
+        if let Some(JsonValue::Obj(raw)) = v.get("fields") {
+            for (k, fv) in raw {
+                let value =
+                    Value::from_json(fv).ok_or_else(|| format!("bad field value for '{k}'"))?;
+                fields.push((k.clone(), value));
+            }
+        }
+        Ok(Event {
+            ts_us: ts as u64,
+            name,
+            kind,
+            level,
+            fields,
+        })
+    }
+
+    /// Equality up to JSON's single number type: `U64(3)` equals `F64(3.0)`.
+    pub fn semantically_eq(&self, other: &Event) -> bool {
+        fn num(v: &Value) -> Option<f64> {
+            match v {
+                Value::F64(x) => Some(*x),
+                Value::U64(x) => Some(*x as f64),
+                Value::I64(x) => Some(*x as f64),
+                _ => None,
+            }
+        }
+        self.ts_us == other.ts_us
+            && self.name == other.name
+            && self.kind == other.kind
+            && self.level == other.level
+            && self.fields.len() == other.fields.len()
+            && self
+                .fields
+                .iter()
+                .zip(other.fields.iter())
+                .all(|((ka, va), (kb, vb))| {
+                    ka == kb
+                        && match (num(va), num(vb)) {
+                            (Some(a), Some(b)) => a == b || (a.is_nan() && b.is_nan()),
+                            _ => va == vb,
+                        }
+                })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_has_required_fields() {
+        let e = Event::new("eadrl.fit", EventKind::Span, Level::Info).field("duration_us", 12u64);
+        let line = e.to_json_line();
+        let v = json::parse(&line).unwrap();
+        assert!(v.get("ts").and_then(JsonValue::as_f64).is_some());
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("eadrl.fit"));
+        assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("span"));
+        assert_eq!(v.get("level").and_then(JsonValue::as_str), Some("info"));
+    }
+
+    #[test]
+    fn name_matches_span_segments() {
+        let e = Event::new(
+            "eadrl.fit/ddpg.episode/ddpg.update",
+            EventKind::Span,
+            Level::Trace,
+        );
+        assert!(e.name_matches("ddpg.episode"));
+        assert!(e.name_matches("eadrl.fit"));
+        assert!(!e.name_matches("ddpg"));
+    }
+
+    #[test]
+    fn level_ordering_is_severity_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+    }
+}

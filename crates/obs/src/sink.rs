@@ -1,0 +1,188 @@
+//! Event sinks: where emitted events go.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, LineWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Consumes telemetry events. Implementations must be cheap enough to sit
+/// on hot paths behind the level check.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything — the default sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Bounded in-memory sink for tests: keeps the most recent `capacity`
+/// events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// Creates a ring sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring sink capacity must be positive");
+        RingSink {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// A copy of the stored events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Stored events whose name (or any span path segment) equals `name`.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.name_matches(name))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().unwrap().is_empty()
+    }
+
+    /// Drops all stored events.
+    pub fn clear(&self) {
+        self.buf.lock().unwrap().clear();
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to a writer (a file or stderr).
+/// Line-buffered: each event is flushed at its newline, so a trace is
+/// readable even after a crash.
+pub struct JsonlSink {
+    out: Mutex<LineWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// A sink writing to the given writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(LineWriter::new(writer)),
+        }
+    }
+
+    /// A sink appending to (and first truncating) `path`.
+    pub fn file(path: &Path) -> io::Result<JsonlSink> {
+        Ok(JsonlSink::new(Box::new(File::create(path)?)))
+    }
+
+    /// A sink writing to standard error.
+    pub fn stderr() -> JsonlSink {
+        JsonlSink::new(Box::new(io::stderr()))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut out = self.out.lock().unwrap();
+        // A failing sink must never take the computation down with it.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Level};
+
+    fn ev(name: &str) -> Event {
+        Event::new(name, EventKind::Event, Level::Info)
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let sink = RingSink::new(2);
+        sink.emit(&ev("a"));
+        sink.emit(&ev("b"));
+        sink.emit(&ev("c"));
+        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(sink.len(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_filters_by_name() {
+        let sink = RingSink::new(8);
+        sink.emit(&ev("x"));
+        sink.emit(&ev("parent/x"));
+        sink.emit(&ev("y"));
+        assert_eq!(sink.events_named("x").len(), 2);
+        assert_eq!(sink.events_named("y").len(), 1);
+        assert_eq!(sink.events_named("z").len(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct SharedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(SharedWriter(shared.clone())));
+        sink.emit(&ev("one").field("k", 1.5));
+        sink.emit(&ev("two"));
+        sink.flush();
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(Event::from_json_line(line).is_ok(), "bad line: {line}");
+        }
+    }
+}

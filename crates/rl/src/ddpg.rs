@@ -5,9 +5,11 @@ use crate::noise::{Noise, OrnsteinUhlenbeck};
 use crate::replay::{ReplayBuffer, SamplingStrategy, Transition};
 use crate::squash::ActionSquash;
 use eadrl_nn::{Activation, Adam, Mlp, Network, Optimizer};
+use eadrl_obs::{Counter, Gauge, Histogram, Level};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hyper-parameters of the DDPG agent.
 ///
@@ -72,8 +74,85 @@ pub struct EpisodeStats {
     pub total_reward: f64,
     /// Steps taken.
     pub steps: usize,
-    /// `total_reward / steps` (0 for an empty episode).
+    /// `total_reward / steps` (0 for an empty episode — see
+    /// [`EpisodeStats::from_sums`]).
     pub avg_reward: f64,
+    /// Mean critic TD loss over the episode's gradient updates (`NaN`
+    /// when no update ran, e.g. while the replay buffer fills up or in
+    /// greedy evaluation).
+    pub critic_loss: f64,
+    /// Mean actor objective (the critic's `Q(s, π(s))` estimate under the
+    /// current policy) over the episode's updates; `NaN` when no update
+    /// ran.
+    pub actor_objective: f64,
+}
+
+impl EpisodeStats {
+    /// Builds the stats from episode sums, enforcing the empty-episode
+    /// contract: a zero-step episode has `avg_reward == 0` (never
+    /// `NaN`/`Inf`), and emits a `ddpg.episode.empty` warning event so
+    /// the degenerate environment is visible in traces.
+    pub fn from_sums(
+        total_reward: f64,
+        steps: usize,
+        critic_loss: f64,
+        actor_objective: f64,
+    ) -> EpisodeStats {
+        let avg_reward = if steps > 0 {
+            total_reward / steps as f64
+        } else {
+            eadrl_obs::warn(
+                "ddpg.episode.empty",
+                &[("total_reward", total_reward.into())],
+            );
+            0.0
+        };
+        EpisodeStats {
+            total_reward,
+            steps,
+            avg_reward,
+            critic_loss,
+            actor_objective,
+        }
+    }
+}
+
+/// Diagnostics from one DDPG gradient update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Mean squared TD error `(Q(s,a) - y)²` over the mini-batch.
+    pub critic_loss: f64,
+    /// Mean critic estimate `Q(s, π(s))` under the current policy — the
+    /// quantity the actor ascends.
+    pub actor_objective: f64,
+    /// Global L2 norm of the critic gradients before clipping; only
+    /// computed when debug-level telemetry is enabled.
+    pub critic_grad_norm: Option<f64>,
+    /// Global L2 norm of the actor gradients before clipping; only
+    /// computed when debug-level telemetry is enabled.
+    pub actor_grad_norm: Option<f64>,
+}
+
+/// Cached handles into the global metrics registry, resolved once per
+/// agent so hot-path recording skips the registry lock.
+struct DdpgTelemetry {
+    episodes: Arc<Counter>,
+    updates: Arc<Counter>,
+    buffer_occupancy: Arc<Gauge>,
+    episode_avg_reward: Arc<Histogram>,
+    critic_loss: Arc<Histogram>,
+}
+
+impl DdpgTelemetry {
+    fn new() -> DdpgTelemetry {
+        DdpgTelemetry {
+            episodes: eadrl_obs::counter("ddpg.episodes"),
+            updates: eadrl_obs::counter("ddpg.updates"),
+            buffer_occupancy: eadrl_obs::gauge("ddpg.replay.occupancy"),
+            episode_avg_reward: eadrl_obs::histogram("ddpg.episode.avg_reward"),
+            critic_loss: eadrl_obs::histogram("ddpg.critic_loss"),
+        }
+    }
 }
 
 /// The DDPG agent: actor + critic networks, their targets, a replay buffer
@@ -92,6 +171,7 @@ pub struct DdpgAgent {
     state_dim: usize,
     action_dim: usize,
     updates: u64,
+    telemetry: DdpgTelemetry,
 }
 
 impl DdpgAgent {
@@ -130,6 +210,7 @@ impl DdpgAgent {
             state_dim,
             action_dim,
             updates: 0,
+            telemetry: DdpgTelemetry::new(),
             actor,
             critic,
             target_actor,
@@ -196,13 +277,15 @@ impl DdpgAgent {
     }
 
     /// Runs one DDPG update (critic regression + deterministic policy
-    /// gradient + Polyak target updates). No-op until the buffer holds at
-    /// least one batch.
-    pub fn update(&mut self) {
+    /// gradient + Polyak target updates) and returns its diagnostics.
+    /// No-op (returning `None`) until the buffer holds at least one
+    /// batch.
+    pub fn update(&mut self) -> Option<UpdateStats> {
         let n = self.config.batch_size;
         if self.buffer.len() < n {
-            return;
+            return None;
         }
+        let _span = eadrl_obs::span_at(Level::Trace, "ddpg.update");
         let batch: Vec<Transition> = self
             .buffer
             .sample(n, self.config.sampling, &mut self.rng)
@@ -227,21 +310,29 @@ impl DdpgAgent {
             targets.push(y);
         }
         self.critic.zero_grad();
+        let mut critic_loss = 0.0;
         for (t, &y) in batch.iter().zip(targets.iter()) {
             let q = self.critic.forward(&concat(&t.state, &t.action))[0];
-            let g = 2.0 * (q - y) / n as f64;
+            let err = q - y;
+            critic_loss += err * err / n as f64;
+            let g = 2.0 * err / n as f64;
             self.critic.backward(&[g]);
         }
+        // Gradient norms are only interesting to traces; skip the extra
+        // parameter sweep unless debug telemetry is on.
+        let critic_grad_norm = eadrl_obs::enabled(Level::Debug).then(|| self.critic.grad_norm());
         self.critic.clip_grad_norm(5.0);
         self.critic_opt.step(&mut self.critic);
 
         // ---- Actor update: ascend ∇_θ Q(s, π_θ(s)).
         self.actor.zero_grad();
         self.critic.zero_grad(); // scratch space for input gradients
+        let mut actor_objective = 0.0;
         for t in &batch {
             let raw = self.actor.forward(&t.state);
             let action = self.config.squash.forward(&raw);
-            let _q = self.critic.forward(&concat(&t.state, &action));
+            let q = self.critic.forward(&concat(&t.state, &action));
+            actor_objective += q[0] / n as f64;
             // dQ/d(input) with loss = -Q / n (gradient ascent on Q).
             let grad_in = self.critic.backward(&[-1.0 / n as f64]);
             let grad_action = &grad_in[self.state_dim..];
@@ -255,6 +346,7 @@ impl DdpgAgent {
             }
             self.actor.backward(&grad_raw);
         }
+        let actor_grad_norm = eadrl_obs::enabled(Level::Debug).then(|| self.actor.grad_norm());
         self.actor.clip_grad_norm(5.0);
         self.actor_opt.step(&mut self.actor);
         self.critic.zero_grad(); // discard scratch gradients
@@ -266,16 +358,30 @@ impl DdpgAgent {
         let critic_params = self.critic.flat_params();
         self.target_critic.soft_update_from(&critic_params, tau);
         self.updates += 1;
+        self.telemetry.updates.inc();
+        self.telemetry.critic_loss.record(critic_loss);
+        Some(UpdateStats {
+            critic_loss,
+            actor_objective,
+            critic_grad_norm,
+            actor_grad_norm,
+        })
     }
 
     /// Runs one episode on `env`. With `train = true` the agent explores,
     /// stores transitions and updates after every step; otherwise it acts
     /// greedily without learning.
     pub fn run_episode(&mut self, env: &mut dyn Environment, train: bool) -> EpisodeStats {
+        let _span = eadrl_obs::span_at(Level::Debug, "ddpg.episode");
         let mut state = env.reset();
         self.noise.reset();
         let mut total_reward = 0.0;
         let mut steps = 0usize;
+        let mut critic_loss_sum = 0.0;
+        let mut actor_objective_sum = 0.0;
+        let mut grad_norm_sums = (0.0, 0.0);
+        let mut grad_norm_count = 0u64;
+        let mut n_updates = 0u64;
         loop {
             let action = if train {
                 self.act_exploratory(&state)
@@ -293,27 +399,72 @@ impl DdpgAgent {
                     next_state: next_state.clone(),
                     done,
                 });
-                self.update();
+                if let Some(stats) = self.update() {
+                    critic_loss_sum += stats.critic_loss;
+                    actor_objective_sum += stats.actor_objective;
+                    n_updates += 1;
+                    if let (Some(c), Some(a)) = (stats.critic_grad_norm, stats.actor_grad_norm) {
+                        grad_norm_sums.0 += c;
+                        grad_norm_sums.1 += a;
+                        grad_norm_count += 1;
+                    }
+                }
             }
             state = next_state;
             if done {
                 break;
             }
         }
-        EpisodeStats {
-            total_reward,
-            steps,
-            avg_reward: if steps > 0 {
-                total_reward / steps as f64
-            } else {
-                0.0
-            },
-        }
+        let (critic_loss, actor_objective) = if n_updates > 0 {
+            (
+                critic_loss_sum / n_updates as f64,
+                actor_objective_sum / n_updates as f64,
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        let stats = EpisodeStats::from_sums(total_reward, steps, critic_loss, actor_objective);
+        self.telemetry.episodes.inc();
+        self.telemetry.episode_avg_reward.record(stats.avg_reward);
+        self.telemetry
+            .buffer_occupancy
+            .set(self.buffer.len() as f64);
+        eadrl_obs::event_with("ddpg.episode", Level::Info, || {
+            let mut fields: Vec<(String, eadrl_obs::Value)> = vec![
+                ("train".to_string(), train.into()),
+                ("total_reward".to_string(), stats.total_reward.into()),
+                ("steps".to_string(), stats.steps.into()),
+                ("avg_reward".to_string(), stats.avg_reward.into()),
+                ("critic_loss".to_string(), stats.critic_loss.into()),
+                ("actor_objective".to_string(), stats.actor_objective.into()),
+                ("updates_total".to_string(), self.updates.into()),
+                ("buffer_len".to_string(), self.buffer.len().into()),
+                ("buffer_capacity".to_string(), self.buffer.capacity().into()),
+                (
+                    "buffer_above_median".to_string(),
+                    self.buffer.above_median_fraction().into(),
+                ),
+                ("noise_sigma".to_string(), self.config.noise_sigma.into()),
+            ];
+            if grad_norm_count > 0 {
+                fields.push((
+                    "critic_grad_norm".to_string(),
+                    (grad_norm_sums.0 / grad_norm_count as f64).into(),
+                ));
+                fields.push((
+                    "actor_grad_norm".to_string(),
+                    (grad_norm_sums.1 / grad_norm_count as f64).into(),
+                ));
+            }
+            fields
+        });
+        stats
     }
 
     /// Trains for `episodes` episodes and returns the per-episode stats —
     /// the learning curve of the paper's Figure 2.
     pub fn train(&mut self, env: &mut dyn Environment, episodes: usize) -> Vec<EpisodeStats> {
+        let _span = eadrl_obs::span("ddpg.train");
         (0..episodes).map(|_| self.run_episode(env, true)).collect()
     }
 
@@ -488,6 +639,59 @@ mod tests {
         // Greedy evaluation is deterministic in a deterministic env.
         assert_eq!(a, b);
         assert!(a.is_finite());
+    }
+
+    #[test]
+    fn empty_episode_contract_and_telemetry_events() {
+        use eadrl_obs::{Level, NoopSink, RingSink, Value};
+        let sink = Arc::new(RingSink::new(4096));
+        eadrl_obs::set_sink(sink.clone());
+        eadrl_obs::set_level(Some(Level::Info));
+
+        // Zero-step episodes: avg_reward is 0 — never NaN/Inf — and the
+        // degenerate case surfaces as a warning event.
+        let stats = EpisodeStats::from_sums(0.0, 0, f64::NAN, f64::NAN);
+        assert_eq!(stats.avg_reward, 0.0);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(sink.events_named("ddpg.episode.empty").len(), 1);
+
+        // Training emits one info-level event per episode, and once the
+        // buffer holds a batch the critic loss becomes finite.
+        let mut env = PointMass::new(0.5, 10);
+        let mut agent = DdpgAgent::new(1, 1, small_config(ActionSquash::Tanh));
+        let episodes = 5;
+        agent.train(&mut env, episodes);
+        let events = sink.events_named("ddpg.episode");
+        assert!(
+            events.len() >= episodes,
+            "expected >= {episodes} episode events, got {}",
+            events.len()
+        );
+        let finite_losses = events
+            .iter()
+            .filter(|e| matches!(e.get("critic_loss"), Some(Value::F64(v)) if v.is_finite()))
+            .count();
+        assert!(
+            finite_losses > 0,
+            "episodes with updates must report a finite critic loss"
+        );
+
+        eadrl_obs::set_level(None);
+        eadrl_obs::set_sink(Arc::new(NoopSink));
+    }
+
+    #[test]
+    fn update_stats_report_losses() {
+        let mut env = PointMass::new(0.5, 40);
+        let mut agent = DdpgAgent::new(1, 1, small_config(ActionSquash::Tanh));
+        // Fill the buffer with one long episode, then update directly.
+        agent.run_episode(&mut env, true);
+        let stats = agent.update().expect("buffer holds a batch");
+        assert!(stats.critic_loss.is_finite() && stats.critic_loss >= 0.0);
+        assert!(stats.actor_objective.is_finite());
+        // Debug telemetry is off, so grad norms are skipped.
+        assert!(stats.critic_grad_norm.is_none());
+        assert!(stats.actor_grad_norm.is_none());
     }
 
     #[test]

@@ -133,6 +133,19 @@ impl ReplayBuffer {
         }
     }
 
+    /// Fraction of stored transitions whose reward is at or above the
+    /// reward median (`NaN` when empty) — the occupancy of the "good"
+    /// half that diversity sampling draws from. Near 1.0 it signals a
+    /// degenerate reward landscape where the median split collapses.
+    pub fn above_median_fraction(&self) -> f64 {
+        if self.storage.is_empty() {
+            return f64::NAN;
+        }
+        let median = self.reward_median();
+        let above = self.storage.iter().filter(|t| t.reward >= median).count();
+        above as f64 / self.storage.len() as f64
+    }
+
     /// Median of the stored rewards (`NaN` when empty).
     pub fn reward_median(&self) -> f64 {
         if self.storage.is_empty() {
@@ -249,6 +262,20 @@ mod tests {
         assert_eq!(buf.reward_median(), 2.0);
         buf.push(t(4.0));
         assert_eq!(buf.reward_median(), 2.5);
+    }
+
+    #[test]
+    fn above_median_fraction_tracks_split() {
+        let mut buf = ReplayBuffer::new(10);
+        assert!(buf.above_median_fraction().is_nan());
+        for i in 0..4 {
+            buf.push(t(i as f64)); // rewards 0,1,2,3 — median 1.5
+        }
+        assert_eq!(buf.above_median_fraction(), 0.5);
+        for _ in 0..4 {
+            buf.push(t(3.0)); // now most mass sits at the top
+        }
+        assert!(buf.above_median_fraction() >= 0.5);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! * [`models`] — the 16 base-forecaster families and the 43-model pool,
 //! * [`rl`] — replay buffers (uniform & diversity sampling), DDPG,
 //! * [`core`] — EA-DRL itself plus every baseline combiner,
-//! * [`eval`] — Bayesian correlated t-test, Bayes sign test, rank tables.
+//! * [`eval`] — Bayesian correlated t-test, Bayes sign test, rank tables,
+//! * [`obs`] — zero-dependency telemetry (spans, metrics, JSONL events).
 //!
 //! ## Quickstart
 //!
@@ -53,5 +54,6 @@ pub use eadrl_eval as eval;
 pub use eadrl_linalg as linalg;
 pub use eadrl_models as models;
 pub use eadrl_nn as nn;
+pub use eadrl_obs as obs;
 pub use eadrl_rl as rl;
 pub use eadrl_timeseries as timeseries;

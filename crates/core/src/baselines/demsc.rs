@@ -150,15 +150,12 @@ fn cluster_representatives(
     // Representative = most accurate member of each cluster.
     clusters
         .into_iter()
-        .filter(|c| !c.is_empty())
-        .map(|c| {
-            c.into_iter()
-                .min_by(|&a, &b| {
-                    errors[a]
-                        .partial_cmp(&errors[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("non-empty cluster")
+        .filter_map(|c| {
+            c.into_iter().min_by(|&a, &b| {
+                errors[a]
+                    .partial_cmp(&errors[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
         })
         .collect()
 }

@@ -34,9 +34,11 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if !(0.0..=1.0).contains(&x) {
         return f64::NAN;
     }
+    // eadrl-lint: allow(no-float-eq): domain boundary — I_0(a,b) = 0 exactly, and the continued fraction needs x > 0
     if x == 0.0 {
         return 0.0;
     }
+    // eadrl-lint: allow(no-float-eq): domain boundary — I_1(a,b) = 1 exactly
     if x == 1.0 {
         return 1.0;
     }
@@ -86,6 +88,7 @@ pub fn student_t_cdf(t: f64, dof: f64) -> f64 {
     if dof <= 0.0 {
         return f64::NAN;
     }
+    // eadrl-lint: allow(no-float-eq): symmetry point — the CDF at exactly t = 0 is 1/2 by definition
     if t == 0.0 {
         return 0.5;
     }

@@ -229,6 +229,7 @@ impl Qr {
             for i in k..m {
                 norm = norm.hypot(qr[(i, k)]);
             }
+            // eadrl-lint: allow(no-float-eq): zero-pivot guard — only an exactly-zero column norm makes the Householder reflector undefined
             if norm == 0.0 {
                 return Err(LinalgError::Singular);
             }

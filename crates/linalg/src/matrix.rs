@@ -178,6 +178,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
+                // eadrl-lint: allow(no-float-eq): sparsity fast path — skipping exact zeros is bit-identical to multiplying by them
                 if a == 0.0 {
                     continue;
                 }
@@ -233,6 +234,7 @@ impl Matrix {
             let row = self.row(r);
             for i in 0..self.cols {
                 let a = row[i];
+                // eadrl-lint: allow(no-float-eq): sparsity fast path — skipping exact zeros is bit-identical to multiplying by them
                 if a == 0.0 {
                     continue;
                 }

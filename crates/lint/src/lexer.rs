@@ -1,0 +1,610 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The lexer's one job is to make sure rules never match inside places
+//! that merely *look* like code: string literals (including raw strings
+//! with arbitrary `#` fences and byte strings), char literals, and
+//! comments (including nested `/* /* */ */` blocks). It produces a flat
+//! token stream plus a separate comment list — comments carry the
+//! suppression markers and doc-comment information the engine needs.
+//!
+//! It is deliberately *not* a full Rust lexer: it has no notion of
+//! keywords beyond identifier spelling, and numeric literals are only
+//! classified far enough to answer "is this a float?".
+
+/// What a token is, at lint granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `pub`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`, tuple indices).
+    Int,
+    /// Float literal (`0.0`, `1e-6`, `1f64`, `2.`).
+    Float,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Single-character punctuation (`.`, `(`, `#`, `!`, …).
+    Punct,
+    /// Multi-character operator we must not split (`==`, `!=`, `::`, …).
+    Op,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`] this is the *content*
+    /// between the quotes (fences stripped, escapes untouched), because
+    /// rules match on literal values, not on quoting style.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// One comment, kept separate from the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Raw comment text including its `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: usize,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: usize,
+    /// Outer doc comment (`///` or `/** … */`).
+    pub doc: bool,
+    /// Nothing but whitespace precedes the comment on its start line.
+    pub own_line: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if let Some(b) = c {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn line_start_is_blank(&self) -> bool {
+        // Walk back from pos to the previous newline; only whitespace allowed.
+        let mut i = self.pos;
+        while i > 0 {
+            let b = self.src[i - 1];
+            if b == b'\n' {
+                return true;
+            }
+            if !b.is_ascii_whitespace() {
+                return false;
+            }
+            i -= 1;
+        }
+        true
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`, returning tokens and comments. Never fails: unterminated
+/// constructs are closed at end of input (a lint must not crash on the
+/// code it inspects).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let start_line = cur.line;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let own_line = cur.line_start_is_blank();
+                let start = cur.pos;
+                while let Some(b) = cur.peek(0) {
+                    if b == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = src[start..cur.pos].to_string();
+                let doc = text.starts_with("///") && !text.starts_with("////");
+                out.comments.push(Comment {
+                    text,
+                    line: start_line,
+                    end_line: start_line,
+                    doc,
+                    own_line,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let own_line = cur.line_start_is_blank();
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.bump().is_none() {
+                        break;
+                    }
+                }
+                let text = src[start..cur.pos].to_string();
+                let doc = text.starts_with("/**") && text.len() > 4;
+                out.comments.push(Comment {
+                    text,
+                    line: start_line,
+                    end_line: cur.line,
+                    doc,
+                    own_line,
+                });
+            }
+            b'"' => {
+                let content = lex_quoted_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if starts_string_prefix(&cur) => {
+                let content = lex_prefixed_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: content.0,
+                    text: content.1,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`). A lifetime is a
+                // quote followed by an identifier that is NOT closed by
+                // another quote.
+                let is_lifetime = cur.peek(1).map(is_ident_start).unwrap_or(false) && {
+                    // Scan the identifier; lifetime iff no closing quote.
+                    let mut i = 1;
+                    while cur.peek(i).map(is_ident_continue).unwrap_or(false) {
+                        i += 1;
+                    }
+                    cur.peek(i) != Some(b'\'')
+                };
+                if is_lifetime {
+                    cur.bump();
+                    let start = cur.pos;
+                    while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[start..cur.pos].to_string(),
+                        line: start_line,
+                    });
+                } else {
+                    cur.bump();
+                    let start = cur.pos;
+                    loop {
+                        match cur.peek(0) {
+                            Some(b'\\') => {
+                                cur.bump();
+                                cur.bump();
+                            }
+                            Some(b'\'') | None => break,
+                            _ => {
+                                cur.bump();
+                            }
+                        }
+                    }
+                    let text = src[start..cur.pos].to_string();
+                    cur.bump(); // closing quote
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text,
+                        line: start_line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                // A number directly after `.` is a tuple index (`x.0`,
+                // `x.0.1`): digits only, so `x.0.1` never yields a bogus
+                // float `0.1`.
+                let after_dot = matches!(
+                    out.tokens.last(),
+                    Some(Token { kind: TokenKind::Punct, text, .. }) if text == "."
+                );
+                let (kind, text) = lex_number(&mut cur, src, after_dot);
+                out.tokens.push(Token {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let start = cur.pos;
+                while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..cur.pos].to_string(),
+                    line: start_line,
+                });
+            }
+            _ => {
+                if let Some(op) = OPERATORS.iter().find(|op| cur.starts_with(op)) {
+                    for _ in 0..op.len() {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Op,
+                        text: (*op).to_string(),
+                        line: start_line,
+                    });
+                } else {
+                    cur.bump();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (c as char).to_string(),
+                        line: start_line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor sits on `r"`, `r#…#"`, `b"`, `br"`, `br#…#"` or
+/// `b'` — i.e. the `r`/`b` is a literal prefix, not an identifier.
+fn starts_string_prefix(cur: &Cursor<'_>) -> bool {
+    let mut i = 1;
+    if cur.peek(0) == Some(b'b') {
+        match cur.peek(1) {
+            Some(b'\'') | Some(b'"') => return true,
+            Some(b'r') => i = 2,
+            _ => return false,
+        }
+    }
+    // `r` (or `br`) followed by hashes then a quote.
+    match cur.peek(i) {
+        Some(b'"') => true,
+        Some(b'#') => {
+            let mut j = i;
+            while cur.peek(j) == Some(b'#') {
+                j += 1;
+            }
+            cur.peek(j) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lexes a plain `"…"` string (cursor on the opening quote), returning
+/// the content between the quotes.
+fn lex_quoted_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let mut content = String::new();
+    loop {
+        match cur.peek(0) {
+            Some(b'\\') => {
+                content.push(cur.bump().unwrap_or(b'\\') as char);
+                if let Some(b) = cur.bump() {
+                    content.push(b as char);
+                }
+            }
+            Some(b'"') => {
+                cur.bump();
+                break;
+            }
+            Some(_) => {
+                let p = cur.pos;
+                cur.bump();
+                content.push_str(std::str::from_utf8(&cur.src[p..cur.pos]).unwrap_or(""));
+            }
+            None => break,
+        }
+    }
+    content
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` (cursor on the
+/// prefix). Returns the token kind and the fence-stripped content.
+fn lex_prefixed_string(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    if cur.peek(0) == Some(b'b') && cur.peek(1) == Some(b'\'') {
+        cur.bump(); // b
+        cur.bump(); // '
+        let mut content = String::new();
+        loop {
+            match cur.peek(0) {
+                Some(b'\\') => {
+                    content.push(cur.bump().unwrap_or(b'\\') as char);
+                    if let Some(b) = cur.bump() {
+                        content.push(b as char);
+                    }
+                }
+                Some(b'\'') | None => {
+                    cur.bump();
+                    break;
+                }
+                Some(b) => {
+                    cur.bump();
+                    content.push(b as char);
+                }
+            }
+        }
+        return (TokenKind::Char, content);
+    }
+    if cur.peek(0) == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'r') {
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        let start = cur.pos;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        let end;
+        loop {
+            if cur.pos + closer.len() <= cur.src.len()
+                && cur.src[cur.pos..cur.pos + closer.len()] == closer[..]
+            {
+                end = cur.pos;
+                for _ in 0..closer.len() {
+                    cur.bump();
+                }
+                break;
+            }
+            if cur.bump().is_none() {
+                end = cur.pos;
+                break;
+            }
+        }
+        let content = std::str::from_utf8(&cur.src[start..end])
+            .unwrap_or("")
+            .to_string();
+        (TokenKind::Str, content)
+    } else {
+        // Plain byte string `b"…"` — the `b` is consumed, quote follows.
+        let content = lex_quoted_string(cur);
+        (TokenKind::Str, content)
+    }
+}
+
+/// Lexes a numeric literal. `digits_only` restricts to tuple-index form.
+fn lex_number(cur: &mut Cursor<'_>, src: &str, digits_only: bool) -> (TokenKind, String) {
+    let start = cur.pos;
+    let mut is_float = false;
+
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek(0)
+            .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+            .unwrap_or(false)
+        {
+            cur.bump();
+        }
+        return (TokenKind::Int, src[start..cur.pos].to_string());
+    }
+
+    while cur
+        .peek(0)
+        .map(|b| b.is_ascii_digit() || b == b'_')
+        .unwrap_or(false)
+    {
+        cur.bump();
+    }
+    if !digits_only {
+        // Fractional part: a `.` continues the number unless it starts a
+        // range (`0..n`) or a method/field access (`1.max(2)`).
+        if cur.peek(0) == Some(b'.') {
+            let next = cur.peek(1);
+            let is_range = next == Some(b'.');
+            let is_access = next.map(is_ident_start).unwrap_or(false);
+            if !is_range && !is_access {
+                is_float = true;
+                cur.bump();
+                while cur
+                    .peek(0)
+                    .map(|b| b.is_ascii_digit() || b == b'_')
+                    .unwrap_or(false)
+                {
+                    cur.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(0), Some(b'e') | Some(b'E')) {
+            let (sign, digit) = (cur.peek(1), cur.peek(2));
+            let direct_digit = sign.map(|b| b.is_ascii_digit()).unwrap_or(false);
+            let signed_digit = matches!(sign, Some(b'+') | Some(b'-'))
+                && digit.map(|b| b.is_ascii_digit()).unwrap_or(false);
+            if direct_digit || signed_digit {
+                is_float = true;
+                cur.bump(); // e
+                if signed_digit {
+                    cur.bump(); // sign
+                }
+                while cur
+                    .peek(0)
+                    .map(|b| b.is_ascii_digit() || b == b'_')
+                    .unwrap_or(false)
+                {
+                    cur.bump();
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, `usize`, …).
+        if cur.peek(0).map(is_ident_start).unwrap_or(false) {
+            let sfx_start = cur.pos;
+            while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                cur.bump();
+            }
+            let suffix = &src[sfx_start..cur.pos];
+            if suffix == "f32" || suffix == "f64" {
+                is_float = true;
+            }
+        }
+    }
+    let kind = if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    };
+    (kind, src[start..cur.pos].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let toks = kinds(r#"let s = "a == 0.0 .unwrap()";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("== 0.0")));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds("let s = r#\"panic!(\"inner\")\"#;");
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("panic!"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.text == "fn"));
+        assert!(!lexed.comments[0].doc);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert!(kinds("0.0").iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(kinds("1e-6").iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(kinds("2f64").iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(!kinds("0..n").iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(!kinds("1.max(2)")
+            .iter()
+            .any(|(k, _)| *k == TokenKind::Float));
+        assert!(!kinds("x.0.1").iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(!kinds("0xFF").iter().any(|(k, _)| *k == TokenKind::Float));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn operators_are_single_tokens() {
+        let toks = kinds("a == b != c :: d");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Op)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lexed = lex("/// docs\nfn f() {}\n// plain\n");
+        assert!(lexed.comments[0].doc);
+        assert!(!lexed.comments[1].doc);
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#"let s = "he said \"hi\""; let t = 1;"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "t"));
+    }
+}

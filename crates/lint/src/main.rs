@@ -1,0 +1,97 @@
+//! CLI for `eadrl-lint`. See the library docs for the rule set.
+//!
+//! ```text
+//! cargo run -p eadrl-lint -- [--json] [--design DESIGN.md] [--list-rules] [paths…]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use eadrl_lint::{default_rules, lint_paths, report_to_json, LintContext, ObsSchema};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut design = PathBuf::from("DESIGN.md");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--design" => match args.next() {
+                Some(p) => design = PathBuf::from(p),
+                None => {
+                    eprintln!("eadrl-lint: --design needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: eadrl-lint [--json] [--design DESIGN.md] [--list-rules] [paths…]\n\
+                     default paths: crates src examples"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("eadrl-lint: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if list_rules {
+        for rule in default_rules() {
+            println!("{:<18} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if paths.is_empty() {
+        paths = vec![
+            PathBuf::from("crates"),
+            PathBuf::from("src"),
+            PathBuf::from("examples"),
+        ];
+        paths.retain(|p| p.exists());
+    }
+
+    let schema = match std::fs::read_to_string(&design) {
+        Ok(md) => ObsSchema::from_design_md(&md),
+        Err(_) => None,
+    };
+    if schema.is_none() {
+        eprintln!(
+            "eadrl-lint: warning: no telemetry schema table found at {} — obs-event-schema rule disabled",
+            design.display()
+        );
+    }
+    let ctx = LintContext { schema };
+
+    let report = match lint_paths(&paths, &ctx) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("eadrl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        println!(
+            "eadrl-lint: {} finding(s), {} suppressed, {} file(s) checked",
+            report.findings.len(),
+            report.suppressed.len(),
+            report.files
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

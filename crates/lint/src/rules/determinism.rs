@@ -1,0 +1,87 @@
+//! `determinism`: keep nondeterminism out of forecast-producing code.
+//!
+//! Two sub-checks, both motivated by the paper's evaluation protocol
+//! (rank rewards and Bayesian sign-rank tests are only meaningful when a
+//! rerun reproduces the exact same 16-method comparison):
+//!
+//! 1. **Wall-clock reads** — `SystemTime::now` / `Instant::now` are
+//!    confined to `crates/obs` (timestamps are telemetry's job) and
+//!    `crates/bench` (runtime *is* the measured quantity there). A
+//!    timing read anywhere else either leaks into results or belongs in
+//!    a span.
+//! 2. **Hash collections** — `HashMap`/`HashSet` iteration order is
+//!    randomized per process; in the result-producing crates an
+//!    iteration that feeds a forecast, a rank, or a report makes runs
+//!    unreproducible. Use `BTreeMap`/`BTreeSet`.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, LintContext, Rule, RESULT_CRATES};
+use crate::source::SourceFile;
+
+/// Crates allowed to read the wall clock.
+const CLOCK_ALLOWED: &[&str] = &["crates/obs/", "crates/bench/", "crates/lint/"];
+
+/// See module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid wall-clock reads outside obs/bench and HashMap/HashSet in result-producing crates"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Finding>) {
+        let in_crates = file.rel_path.starts_with("crates/");
+        let clock_banned = in_crates && !file.in_any(CLOCK_ALLOWED);
+        let hash_banned = file.in_any(RESULT_CRATES);
+        if !clock_banned && !hash_banned {
+            return;
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.in_test_code(t.line) {
+                continue;
+            }
+            match t.text.as_str() {
+                "SystemTime" | "Instant" if clock_banned => {
+                    // `Instant::now` — the `now` must follow `::`.
+                    let coloncolon = matches!(
+                        toks.get(i + 1),
+                        Some(n) if n.kind == TokenKind::Op && n.text == "::"
+                    );
+                    let now = matches!(
+                        toks.get(i + 2),
+                        Some(n) if n.kind == TokenKind::Ident && n.text == "now"
+                    );
+                    if coloncolon && now {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "{}::now() outside crates/obs + crates/bench — route timing through eadrl_obs spans or annotate why wall-clock belongs here",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+                "HashMap" | "HashSet" if hash_banned => {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "{} iteration order is nondeterministic and can leak into forecasts — use BTree{} instead",
+                            t.text,
+                            t.text.trim_start_matches("Hash")
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}

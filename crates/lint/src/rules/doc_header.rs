@@ -1,0 +1,80 @@
+//! `doc-header`: the numeric substrate stays documented.
+//!
+//! `linalg` and `timeseries` sit under every model and every metric in
+//! the workspace; an undocumented public function there forces every
+//! caller to read the implementation to learn its numerical contract
+//! (tolerances, edge cases, shapes). Every `pub fn` / `pub struct` in
+//! those two crates must carry a doc comment. (`pub(crate)` and friends
+//! are internal API and exempt.)
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, LintContext, Rule};
+use crate::source::SourceFile;
+
+/// Crates whose public items must be documented.
+const SCOPE: &[&str] = &["crates/linalg/src/", "crates/timeseries/src/"];
+
+/// See module docs.
+pub struct DocHeader;
+
+impl Rule for DocHeader {
+    fn name(&self) -> &'static str {
+        "doc-header"
+    }
+
+    fn description(&self) -> &'static str {
+        "every pub fn / pub struct in linalg and timeseries carries a doc comment"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Finding>) {
+        if !file.in_any(SCOPE) {
+            return;
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "pub" || file.in_test_code(t.line) {
+                continue;
+            }
+            // Plain `pub` only: `pub(crate)` etc. are internal.
+            let Some(next) = toks.get(i + 1) else {
+                continue;
+            };
+            if next.kind == TokenKind::Punct && next.text == "(" {
+                continue;
+            }
+            let (item, name) = match (next.text.as_str(), toks.get(i + 2)) {
+                ("fn" | "struct", Some(n)) if n.kind == TokenKind::Ident => {
+                    (next.text.clone(), n.text.clone())
+                }
+                _ => continue,
+            };
+            // Walk upward from the `pub` line: attribute lines are
+            // transparent; a doc line means documented; anything else
+            // (code, blank, plain comment) means undocumented.
+            let mut line = t.line;
+            let documented = loop {
+                if line <= 1 {
+                    break false;
+                }
+                line -= 1;
+                if file.doc_lines.contains(&line) {
+                    break true;
+                }
+                if file.attr_lines.contains(&line) {
+                    continue;
+                }
+                break false;
+            };
+            if !documented {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "pub {item} `{name}` has no doc comment — state its contract (shapes, tolerances, edge cases)"
+                    ),
+                });
+            }
+        }
+    }
+}

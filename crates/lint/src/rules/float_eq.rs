@@ -1,0 +1,138 @@
+//! `no-float-eq`: exact float comparison must be an explicit, annotated
+//! decision.
+//!
+//! Subgradient branches (`d == 0.0` at a hinge) and zero-pivot guards
+//! are legitimate *exact* comparisons — but they must be visibly
+//! deliberate, because an accidental `==` on computed floats silently
+//! varies with rounding and can flip rank rewards between runs. The rule
+//! flags `==`/`!=` when either operand is a float literal or a binding
+//! this file declares as `f64`/`f32` (annotation or float-literal
+//! initializer); intentional sites carry
+//! `// eadrl-lint: allow(no-float-eq): <why exact equality is correct>`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Finding, LintContext, Rule, RESULT_CRATES};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct NoFloatEq;
+
+impl Rule for NoFloatEq {
+    fn name(&self) -> &'static str {
+        "no-float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid ==/!= where either side is a float literal or a known-float binding"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Finding>) {
+        if !file.in_any(RESULT_CRATES) {
+            return;
+        }
+        let toks = &file.tokens;
+        let floats = known_float_bindings(file);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Op || (t.text != "==" && t.text != "!=") {
+                continue;
+            }
+            if file.in_test_code(t.line) {
+                continue;
+            }
+            let lhs = toks.get(i.wrapping_sub(1));
+            // Unary minus on the right (`== -1.0`) sits between the
+            // operator and the literal.
+            let mut r = i + 1;
+            if matches!(toks.get(r), Some(n) if n.kind == TokenKind::Punct && n.text == "-") {
+                r += 1;
+            }
+            let rhs = toks.get(r);
+            // An ident the comparison reads *through* (`y.len()`, `y[i]`)
+            // is not the binding itself — `y: &[f64]` compared via
+            // `y.len()` is a usize comparison.
+            let rhs_projected =
+                matches!(toks.get(r + 1), Some(n) if n.text == "." || n.text == "[");
+            let is_float_operand = |tok: Option<&Token>, projected: bool| -> bool {
+                match tok {
+                    Some(tok) => match tok.kind {
+                        TokenKind::Float => true,
+                        TokenKind::Ident => !projected && floats.contains(tok.text.as_str()),
+                        _ => false,
+                    },
+                    None => false,
+                }
+            };
+            if is_float_operand(lhs, false) || is_float_operand(rhs, rhs_projected) {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "exact float comparison `{}` — use a tolerance, total_cmp, or annotate the deliberate exact test",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Bindings this file declares as floats: `name: f64`/`f32` anywhere
+/// (covers `let` annotations, fn params, struct fields) plus
+/// `let [mut] name = <float literal>…;`. A per-file flat namespace is the
+/// right cost/benefit for a lint: false negatives on cross-file types
+/// are acceptable, false positives are rare. Test code is excluded from
+/// harvesting — a `let y = [1.0, …]` fixture in `#[cfg(test)]` must not
+/// taint the library's `y: &[f64]` parameter.
+fn known_float_bindings(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut floats = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        // `name : f64`
+        if t.kind == TokenKind::Ident
+            && matches!(toks.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == ":")
+            && matches!(
+                toks.get(i + 2),
+                Some(ty) if ty.kind == TokenKind::Ident && (ty.text == "f64" || ty.text == "f32")
+            )
+        {
+            floats.insert(t.text.clone());
+        }
+        // `let [mut] name = … <float literal> … ;` (scan to the statement
+        // end; a float literal anywhere in the initializer taints the
+        // binding — conservative in the useful direction).
+        if t.kind == TokenKind::Ident && t.text == "let" {
+            let mut j = i + 1;
+            if matches!(toks.get(j), Some(m) if m.kind == TokenKind::Ident && m.text == "mut") {
+                j += 1;
+            }
+            let Some(name) = toks.get(j) else { continue };
+            if name.kind != TokenKind::Ident {
+                continue;
+            }
+            if !matches!(toks.get(j + 1), Some(eq) if eq.kind == TokenKind::Punct && eq.text == "=")
+            {
+                continue;
+            }
+            let mut k = j + 2;
+            let mut depth = 0i32;
+            while let Some(tok) = toks.get(k) {
+                match (tok.kind, tok.text.as_str()) {
+                    (TokenKind::Punct, "(" | "[" | "{") => depth += 1,
+                    (TokenKind::Punct, ")" | "]" | "}") => depth -= 1,
+                    (TokenKind::Punct, ";") if depth <= 0 => break,
+                    (TokenKind::Float, _) => {
+                        floats.insert(name.text.clone());
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+    floats
+}

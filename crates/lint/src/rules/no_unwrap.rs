@@ -1,0 +1,79 @@
+//! `no-unwrap-in-lib`: forbid panicking escape hatches in library code.
+//!
+//! A stray panic in `linalg`/`nn`/`models`/`rl`/`core`/`eval`/
+//! `timeseries` takes down a whole evaluation sweep (and, in the online
+//! phase, the serving process). Library code must propagate `Result` or
+//! fall back; only tests may panic freely.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, LintContext, Rule, RESULT_CRATES};
+use crate::source::SourceFile;
+
+/// Forbidden method calls (matched as `.name(`).
+const METHODS: &[&str] = &["unwrap", "expect"];
+/// Forbidden macros (matched as `name!`).
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See module docs.
+pub struct NoUnwrapInLib;
+
+impl Rule for NoUnwrapInLib {
+    fn name(&self) -> &'static str {
+        "no-unwrap-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid .unwrap()/.expect()/panic!/unreachable! in non-test library code of the result-producing crates"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Finding>) {
+        if !file.in_any(RESULT_CRATES) {
+            return;
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.in_test_code(t.line) {
+                continue;
+            }
+            let name = t.text.as_str();
+            if METHODS.contains(&name) {
+                let after_dot = matches!(
+                    toks.get(i.wrapping_sub(1)),
+                    Some(p) if p.kind == TokenKind::Punct && p.text == "."
+                );
+                let before_paren = matches!(
+                    toks.get(i + 1),
+                    Some(n) if n.kind == TokenKind::Punct && n.text == "("
+                );
+                if after_dot && before_paren {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            ".{name}() can panic — propagate the error (`?`, typed error) or use an explicit fallback"
+                        ),
+                    });
+                }
+            } else if MACROS.contains(&name) {
+                let is_macro = matches!(
+                    toks.get(i + 1),
+                    Some(n) if n.kind == TokenKind::Punct && n.text == "!"
+                );
+                // `assert!`-family is deliberately NOT flagged: asserts
+                // document invariants; unwraps hide them. But a bare
+                // `panic!` in library code is a forecast-killing bug.
+                if is_macro {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "{name}! aborts the computation — return a typed error instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

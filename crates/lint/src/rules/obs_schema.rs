@@ -1,0 +1,219 @@
+//! `obs-event-schema`: the telemetry contract in `DESIGN.md` is
+//! machine-checked.
+//!
+//! PR 1 introduced a documented schema for every `eadrl_obs` event and
+//! span name ("Telemetry event schema" table in `DESIGN.md`). This rule
+//! extracts the string literal passed to `eadrl_obs::{event, event_with,
+//! warn, span, span_at}` call-sites and validates the dotted name
+//! against that table, so adding an event without documenting it — or
+//! typo-ing `eadrl.onlien.drift` — fails CI instead of silently
+//! producing a trace `obs_validate` can't account for.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, LintContext, Rule};
+use crate::source::SourceFile;
+
+/// Functions in `eadrl_obs` whose first string-literal argument is an
+/// event/span name.
+const EMITTERS: &[&str] = &["event", "event_with", "warn", "span", "span_at"];
+
+/// The event-name schema: one pattern per documented name; `*` matches
+/// exactly one dot-separated segment (`eadrl.*.skipped`).
+#[derive(Debug, Clone, Default)]
+pub struct ObsSchema {
+    patterns: Vec<Vec<String>>,
+}
+
+impl ObsSchema {
+    /// Parses the "Telemetry event schema" markdown table out of
+    /// `DESIGN.md` text. Names come from the first column; comma-
+    /// separated cells list several names for one row.
+    pub fn from_design_md(md: &str) -> Option<ObsSchema> {
+        let mut patterns = Vec::new();
+        let mut in_section = false;
+        for line in md.lines() {
+            if line.starts_with('#') {
+                in_section = line.to_lowercase().contains("telemetry event schema");
+                continue;
+            }
+            if !in_section || !line.trim_start().starts_with('|') {
+                continue;
+            }
+            let first_cell = line.trim_start().trim_start_matches('|');
+            let Some(cell) = first_cell.split('|').next() else {
+                continue;
+            };
+            for raw in cell.split(',') {
+                let name = raw.trim().trim_matches('`').trim();
+                // Keep only dotted identifiers (skips the header row and
+                // separator rows like `|---|`).
+                if !name.is_empty()
+                    && name.contains('.')
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._*".contains(c))
+                {
+                    patterns.push(name.split('.').map(str::to_string).collect());
+                }
+            }
+        }
+        if patterns.is_empty() {
+            None
+        } else {
+            Some(ObsSchema { patterns })
+        }
+    }
+
+    /// A schema from explicit patterns (for tests).
+    pub fn from_patterns(names: &[&str]) -> ObsSchema {
+        ObsSchema {
+            patterns: names
+                .iter()
+                .map(|n| n.split('.').map(str::to_string).collect())
+                .collect(),
+        }
+    }
+
+    /// True when `name` matches a documented pattern. `*` matches one or
+    /// more consecutive segments, so `eadrl.*.skipped` covers both
+    /// `eadrl.warm_up.skipped` and `eadrl.online.refresh.skipped`.
+    pub fn matches(&self, name: &str) -> bool {
+        fn seg_match(pat: &[String], segs: &[&str]) -> bool {
+            match (pat.first(), segs.first()) {
+                (None, None) => true,
+                (Some(p), Some(_)) if p == "*" => {
+                    (1..=segs.len()).any(|k| seg_match(&pat[1..], &segs[k..]))
+                }
+                (Some(p), Some(s)) if p == s => seg_match(&pat[1..], &segs[1..]),
+                _ => false,
+            }
+        }
+        let segs: Vec<&str> = name.split('.').collect();
+        self.patterns.iter().any(|pat| seg_match(pat, &segs))
+    }
+
+    /// Number of documented name patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no patterns were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+/// See module docs.
+pub struct ObsEventSchema;
+
+impl Rule for ObsEventSchema {
+    fn name(&self) -> &'static str {
+        "obs-event-schema"
+    }
+
+    fn description(&self) -> &'static str {
+        "event names passed to eadrl_obs emitters must appear in DESIGN.md's telemetry schema table"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &LintContext, out: &mut Vec<Finding>) {
+        // The obs crate itself builds arbitrary names (tests, validator);
+        // the contract binds the *emitting* crates.
+        if file.in_any(&["crates/obs/", "crates/lint/"]) {
+            return;
+        }
+        let Some(schema) = &ctx.schema else {
+            return;
+        };
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "eadrl_obs" || file.in_test_code(t.line) {
+                continue;
+            }
+            let coloncolon = matches!(
+                toks.get(i + 1),
+                Some(n) if n.kind == TokenKind::Op && n.text == "::"
+            );
+            let Some(func) = toks.get(i + 2) else {
+                continue;
+            };
+            if !coloncolon || func.kind != TokenKind::Ident {
+                continue;
+            }
+            if !EMITTERS.contains(&func.text.as_str()) {
+                continue;
+            }
+            if !matches!(
+                toks.get(i + 3),
+                Some(p) if p.kind == TokenKind::Punct && p.text == "("
+            ) {
+                continue;
+            }
+            // First string literal at argument depth 1 is the name (for
+            // span_at it follows the Level argument).
+            let mut depth = 1usize;
+            let mut j = i + 4;
+            let mut found = None;
+            while let Some(tok) = toks.get(j) {
+                match (tok.kind, tok.text.as_str()) {
+                    (TokenKind::Punct, "(" | "[" | "{") => depth += 1,
+                    (TokenKind::Punct, ")" | "]" | "}") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (TokenKind::Str, _) if depth == 1 => {
+                        found = Some(tok);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(name_tok) = found {
+                if !schema.matches(&name_tok.text) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: name_tok.line,
+                        message: format!(
+                            "event name \"{}\" is not in DESIGN.md's telemetry schema table — document it there or fix the typo",
+                            name_tok.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_schema_from_markdown_table() {
+        let md = "\
+# Design
+
+### Telemetry event schema
+
+| Name | Kind |
+|---|---|
+| `a.b`, `c.d.e` | event |
+| `x.*.skipped` | event |
+
+### Next section
+
+| `not.me` | event |
+";
+        let s = ObsSchema::from_design_md(md).expect("schema parses");
+        assert_eq!(s.len(), 3);
+        assert!(s.matches("a.b"));
+        assert!(s.matches("c.d.e"));
+        assert!(s.matches("x.anything.skipped"));
+        assert!(s.matches("x.two.deep.skipped"));
+        assert!(!s.matches("not.me"));
+        assert!(!s.matches("a.b.c"));
+    }
+}

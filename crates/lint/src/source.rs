@@ -1,0 +1,355 @@
+//! Per-file analysis context: lexed tokens plus the derived facts every
+//! rule needs — `#[cfg(test)]` spans, suppression markers, doc-comment
+//! and attribute line coverage.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The suppression marker prefix inside comments.
+pub const MARKER: &str = "eadrl-lint:";
+
+/// A parsed `// eadrl-lint: allow(rule, …): justification` marker.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules the marker names.
+    pub rules: Vec<String>,
+    /// The line(s) the marker applies to.
+    pub lines: Vec<usize>,
+    /// The line the marker itself sits on (for diagnostics).
+    pub marker_line: usize,
+    /// Justification text after the rule list (may be empty — the engine
+    /// turns that into a finding).
+    pub justification: String,
+}
+
+/// A file ready for rule evaluation.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as given (normalized to `/` separators, no leading `./`).
+    pub rel_path: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Parsed suppression markers.
+    pub suppressions: Vec<Suppression>,
+    /// Lines covered by doc comments or `#[doc…]` attributes.
+    pub doc_lines: BTreeSet<usize>,
+    /// Lines covered by attributes (`#[…]`).
+    pub attr_lines: BTreeSet<usize>,
+    /// Lines that contain any source text (tokens or comments) — used to
+    /// distinguish blank lines when walking upward from an item.
+    pub occupied_lines: BTreeSet<usize>,
+    /// line → rules allowed on that line (derived from `suppressions`).
+    allow: BTreeMap<usize, BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `text`.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let rel_path = rel_path.trim_start_matches("./").replace('\\', "/");
+        let test_spans = find_test_spans(&lexed.tokens);
+        let suppressions = find_suppressions(&lexed.comments);
+        let (doc_lines, attr_lines) = doc_and_attr_lines(&lexed.tokens, &lexed.comments);
+        let mut occupied_lines = BTreeSet::new();
+        for t in &lexed.tokens {
+            occupied_lines.insert(t.line);
+        }
+        for c in &lexed.comments {
+            for l in c.line..=c.end_line {
+                occupied_lines.insert(l);
+            }
+        }
+        let mut allow: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+        for s in &suppressions {
+            for &l in &s.lines {
+                allow.entry(l).or_default().extend(s.rules.iter().cloned());
+            }
+        }
+        SourceFile {
+            rel_path,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_spans,
+            suppressions,
+            doc_lines,
+            attr_lines,
+            occupied_lines,
+            allow,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// True when `rule` is suppressed on `line`.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        self.allow
+            .get(&line)
+            .map(|set| set.contains(rule))
+            .unwrap_or(false)
+    }
+
+    /// True when the path starts with any of the given prefixes.
+    pub fn in_any(&self, prefixes: &[&str]) -> bool {
+        prefixes.iter().any(|p| self.rel_path.starts_with(p))
+    }
+}
+
+/// Parses suppression markers out of the comment list.
+///
+/// Grammar: `eadrl-lint: allow(<rule>[, <rule>]*)` followed by a
+/// mandatory free-text justification. A marker sharing its line with
+/// code applies to that line; a marker on its own line applies to the
+/// next line.
+fn find_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments *describe* the marker syntax (this crate's own
+        // docs do); only plain comments can carry live markers.
+        if c.doc || c.text.starts_with("//!") || c.text.starts_with("/*!") {
+            continue;
+        }
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = c.text[at + MARKER.len()..].trim_start();
+        let (rules, justification) = match rest.strip_prefix("allow(") {
+            Some(tail) => match tail.find(')') {
+                Some(close) => {
+                    let rules: Vec<String> = tail[..close]
+                        .split(',')
+                        .map(|r| r.trim().to_string())
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    let mut just = tail[close + 1..].trim();
+                    // Strip the leading separator conventions: `: why`,
+                    // `- why`, `— why`.
+                    just = just
+                        .trim_start_matches([':', '-', ','])
+                        .trim_start_matches('\u{2014}')
+                        .trim();
+                    let just = just.trim_end_matches("*/").trim();
+                    (rules, just.to_string())
+                }
+                None => (Vec::new(), String::new()),
+            },
+            None => (Vec::new(), String::new()),
+        };
+        let lines = if c.own_line {
+            vec![c.end_line + 1]
+        } else {
+            vec![c.line]
+        };
+        out.push(Suppression {
+            rules,
+            lines,
+            marker_line: c.line,
+            justification,
+        });
+    }
+    out
+}
+
+/// Finds the inclusive line spans of items annotated `#[cfg(test)]` or
+/// `#[test]` (the item being the next `{…}` block or `;`-terminated
+/// declaration after the attribute stack).
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        let (attr_tokens, after) = attr_body(tokens, i);
+        if !attr_is_test(&attr_tokens) {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = after;
+        while is_attr_start(tokens, j) {
+            let (_, next) = attr_body(tokens, j);
+            j = next;
+        }
+        // The item body: first `{` at depth 0 opens it (then match braces);
+        // a `;` before any `{` ends a declaration-only item.
+        let mut depth = 0usize;
+        let mut end_line = attr_line;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{") => {
+                    depth += 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = t.line;
+                        j += 1;
+                        break;
+                    }
+                }
+                (TokenKind::Punct, ";") if depth == 0 => {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = t.line;
+            j += 1;
+        }
+        spans.push((attr_line, end_line));
+        i = j;
+    }
+    spans
+}
+
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Punct && t.text == "#")
+        && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "[")
+}
+
+/// Returns the tokens inside `#[…]` starting at `i`, and the index just
+/// past the closing `]`.
+fn attr_body(tokens: &[Token], i: usize) -> (Vec<&Token>, usize) {
+    let mut body = Vec::new();
+    let mut depth = 0usize;
+    let mut j = i + 1; // at `[`
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct && t.text == "[" {
+            depth += 1;
+            if depth == 1 {
+                j += 1;
+                continue;
+            }
+        } else if t.kind == TokenKind::Punct && t.text == "]" {
+            depth -= 1;
+            if depth == 0 {
+                return (body, j + 1);
+            }
+        }
+        body.push(t);
+        j += 1;
+    }
+    (body, j)
+}
+
+/// True for `#[test]` and `#[cfg(test)]`-style attributes. `not(test)`
+/// style negations are conservatively treated as non-test.
+fn attr_is_test(attr: &[&Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Line coverage of doc comments and attributes (`#[doc…]` counts as
+/// documentation).
+fn doc_and_attr_lines(
+    tokens: &[Token],
+    comments: &[Comment],
+) -> (BTreeSet<usize>, BTreeSet<usize>) {
+    let mut doc_lines = BTreeSet::new();
+    let mut attr_lines = BTreeSet::new();
+    for c in comments {
+        if c.doc {
+            for l in c.line..=c.end_line {
+                doc_lines.insert(l);
+            }
+        }
+    }
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_attr_start(tokens, i) {
+            let start_line = tokens[i].line;
+            let (body, after) = attr_body(tokens, i);
+            let end_line = tokens
+                .get(after.saturating_sub(1))
+                .map_or(start_line, |t| t.line);
+            for l in start_line..=end_line {
+                attr_lines.insert(l);
+            }
+            if matches!(body.first(), Some(t) if t.text == "doc") {
+                for l in start_line..=end_line {
+                    doc_lines.insert(l);
+                }
+            }
+            i = after;
+        } else {
+            i += 1;
+        }
+    }
+    (doc_lines, attr_lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn shipped() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(2));
+    }
+
+    #[test]
+    fn trailing_marker_applies_to_its_own_line() {
+        let src = "let x = 1; // eadrl-lint: allow(no-float-eq): deliberate\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(1, "no-float-eq"));
+        assert!(!f.allows(2, "no-float-eq"));
+        assert_eq!(f.suppressions[0].justification, "deliberate");
+    }
+
+    #[test]
+    fn standalone_marker_applies_to_next_line() {
+        let src = "// eadrl-lint: allow(determinism): timing is the payload\nlet t = now();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(2, "determinism"));
+        assert!(!f.allows(1, "determinism"));
+    }
+
+    #[test]
+    fn marker_with_multiple_rules() {
+        let src = "x(); // eadrl-lint: allow(no-unwrap-in-lib, no-float-eq): both fine here\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(1, "no-unwrap-in-lib"));
+        assert!(f.allows(1, "no-float-eq"));
+    }
+
+    #[test]
+    fn marker_without_justification_is_recorded_empty() {
+        let src = "x(); // eadrl-lint: allow(no-float-eq)\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(f.suppressions[0].justification.is_empty());
+    }
+}

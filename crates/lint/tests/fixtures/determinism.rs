@@ -1,0 +1,42 @@
+// Fixture: determinism. Linted twice — with the pretend path
+// `crates/models/src/fixture.rs` (all tags fire) and with
+// `crates/obs/src/fixture.rs` (clock reads and hash collections are both
+// allowed there: zero findings).
+
+use std::collections::HashMap; //~ determinism
+use std::time::Instant;
+
+pub fn clock_read() -> f64 {
+    let t = Instant::now(); //~ determinism
+    t.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() //~ determinism
+}
+
+pub fn hash_table() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); //~ determinism //~ determinism
+    m.len()
+}
+
+pub fn negatives(deadline: Instant) -> bool {
+    // A type position (no `::now` call) is fine.
+    deadline.elapsed().as_secs() > 1
+}
+
+pub fn suppressed() -> f64 {
+    // eadrl-lint: allow(determinism): wall-clock here is the measurement itself
+    Instant::now().elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_sets_in_tests_are_fine() {
+        let s: HashSet<u32> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: doc-header. Linted twice — with the pretend path
+//! `crates/linalg/src/fixture.rs` (tags fire) and with
+//! `crates/models/src/fixture.rs` (out of scope: zero findings).
+
+/// Documented function: no finding.
+pub fn documented() {}
+
+pub fn undocumented() {} //~ doc-header
+
+/// Documented struct behind an attribute stack: no finding.
+#[derive(Debug, Clone)]
+pub struct DocumentedStruct;
+
+#[derive(Debug)]
+pub struct UndocumentedStruct; //~ doc-header
+
+pub(crate) fn internal_api_is_exempt() {}
+
+fn private_is_exempt() {}
+
+pub mod nested {
+    pub fn undocumented_in_module() {} //~ doc-header
+}
+
+// eadrl-lint: allow(doc-header): fixture shows doc-header suppression
+pub struct SuppressedStruct;
+
+#[cfg(test)]
+mod tests {
+    pub fn undocumented_in_test_code() {}
+}

@@ -1,0 +1,35 @@
+// Fixture: no-float-eq. Linted with the pretend path
+// `crates/nn/src/fixture.rs`.
+
+pub fn positives(x: f64) -> bool {
+    let y = 0.5 * x;
+    let lit = x == 0.0; //~ no-float-eq
+    let lit2 = 1.0 != x; //~ no-float-eq
+    let neg_lit = x == -2.5; //~ no-float-eq
+    let bind = y == x; //~ no-float-eq
+    lit || lit2 || neg_lit || bind
+}
+
+pub fn negatives(n: usize, x: f64, v: &[f64], s: &str) -> bool {
+    let ints = n == 3;
+    let projected_len = v.len() == n; // read through a float slice: usize
+    let projected_bits = n as u64 == x.to_bits(); // x.to_bits() is not x
+    let in_string = s == "== 0.0"; // the float eq lives inside a string
+    ints && projected_len && projected_bits && in_string
+}
+
+pub fn suppressed(d: f64) -> bool {
+    // eadrl-lint: allow(no-float-eq): subgradient hinge — exact zero is the branch point
+    d == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_eq_in_tests_is_fine() {
+        let z = 0.0_f64;
+        assert!(z == 0.0);
+        let y = [1.0, 2.0]; // must not taint `y` bindings in lib code
+        assert!(y[0] == 1.0);
+    }
+}

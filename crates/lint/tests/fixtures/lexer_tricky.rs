@@ -1,0 +1,22 @@
+// Fixture: adversarial lexer inputs. Linted with the pretend path
+// `crates/core/src/fixture.rs`; expected finding count: ZERO. Every
+// forbidden pattern below is hidden inside a string, char literal, or
+// comment, or is a tuple index that must not lex as a float.
+
+/* nested /* block comment with .unwrap() and panic!("x") */ still a comment */
+
+pub fn tricky(n: usize) -> String {
+    let s = "contains .unwrap() and == 0.0 and Instant::now()";
+    let raw = r#"raw "string" with panic!("boom") and HashMap::new()"#;
+    let fenced = r##"outer fence r#"inner"# with .expect("hidden")"##;
+    let byte_str = b"bytes with unreachable!()";
+    let quote_char = '"';
+    let escaped = "escaped \" quote hiding .expect(";
+    let lifetime_like: &'static str = "lifetime, not a char literal";
+    let nested_tuple = ((1u32, 2u32), 3u32);
+    // `nested_tuple.0.1` must lex as tuple indices, not the float `0.1`;
+    // if it lexed as a float, the comparison below would be a finding.
+    let second = nested_tuple.0.1 == 2;
+    let range_not_float = (0..10).len() == n;
+    format!("{s}{raw}{fenced}{byte_str:?}{quote_char}{escaped}{lifetime_like}{second}{range_not_float}")
+}

@@ -1,0 +1,37 @@
+// Fixture: no-unwrap-in-lib. Linted with the pretend path
+// `crates/core/src/fixture.rs`. Tagged lines must produce exactly one
+// finding of the named rule on that line.
+
+pub fn positives(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap(); //~ no-unwrap-in-lib
+    let b = r.expect("bad"); //~ no-unwrap-in-lib
+    if a + b == 3 {
+        panic!("boom"); //~ no-unwrap-in-lib
+    }
+    if a > 9 {
+        unreachable!(); //~ no-unwrap-in-lib
+    }
+    todo!() //~ no-unwrap-in-lib
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // eadrl-lint: allow(no-unwrap-in-lib): fixture demonstrating a well-formed suppression
+    v.unwrap()
+}
+
+pub fn negatives(v: Option<u32>) -> u32 {
+    assert!(v.is_some(), "asserts document invariants and are exempt");
+    debug_assert_eq!(v, Some(1));
+    v.unwrap_or(7) // unwrap_or is a fallback, not a panic
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_test_code_are_fine() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        v.expect("fine here");
+        panic!("also fine");
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: obs-event-schema. Linted with the pretend path
+// `crates/core/src/fixture.rs` against the schema
+// {eadrl.fit, eadrl.weights, eadrl.*.skipped, bench.dataset}.
+
+pub fn emits() {
+    eadrl_obs::event("eadrl.fit", Level::Info, &[]);
+    eadrl_obs::event("eadrl.typo", Level::Info, &[]); //~ obs-event-schema
+    eadrl_obs::warn("eadrl.warm_up.skipped", &[]);
+    eadrl_obs::event_with("eadrl.online.refresh.skipped", || vec![]);
+    let _a = eadrl_obs::span_at(Level::Debug, "bench.dataset");
+    let _b = eadrl_obs::span("nope.event"); //~ obs-event-schema
+    other_mod::event("not.obs.not.checked", 1);
+}
+
+pub fn suppressed() {
+    // eadrl-lint: allow(obs-event-schema): fixture-only name, never emitted in production
+    eadrl_obs::event("fixture.only", Level::Info, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn undocumented_names_in_tests_are_fine() {
+        eadrl_obs::event("test.scratch.name", Level::Info, &[]);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: suppression-marker validation. Linted with the pretend path
+// `crates/core/src/fixture.rs`. Malformed markers are themselves
+// findings (rule name `suppression`) and cannot be suppressed.
+
+pub fn f(v: Option<u32>) -> u32 {
+    // eadrl-lint: allow(no-unwrap-in-lib): well-formed, suppresses the next line
+    let a = v.unwrap();
+    // eadrl-lint: allow(not-a-rule): names a rule that does not exist
+    let b = 1u32;
+    // eadrl-lint: allow(no-float-eq)
+    let c = 2u32;
+    // eadrl-lint: malformed marker with no allow() clause
+    a + b + c
+}
+
+pub fn trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // eadrl-lint: allow(no-unwrap-in-lib): trailing marker suppresses its own line
+}

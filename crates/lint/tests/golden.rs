@@ -1,0 +1,233 @@
+//! Golden-fixture suite: every rule demonstrated firing (and not
+//! firing) on adversarial inputs, with exact line expectations.
+//!
+//! Fixtures live in `tests/fixtures/` and carry `//~ <rule>` tags on the
+//! lines where a finding is expected (two tags on one line mean two
+//! findings). The harness lints each fixture under a *pretend*
+//! workspace path so the path-scoped rules engage, then compares the
+//! exact `(line, rule)` multiset against the tags.
+
+use eadrl_lint::rules::SUPPRESSION_RULE;
+use eadrl_lint::{default_rules, lint_source, Finding, LintContext, ObsSchema};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint(text: &str, pretend_path: &str, schema: Option<ObsSchema>) -> (Vec<Finding>, Vec<Finding>) {
+    let rules = default_rules();
+    let ctx = LintContext { schema };
+    lint_source(&rules, &ctx, pretend_path, text)
+}
+
+/// Collects `//~ <rule>` tags as a sorted `(line, rule)` list.
+fn expectations(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        for tag in line.split("//~").skip(1) {
+            let rule = tag.split_whitespace().next().unwrap_or("").to_string();
+            assert!(!rule.is_empty(), "empty //~ tag on line {}", i + 1);
+            out.push((i + 1, rule));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn found(findings: &[Finding]) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = findings
+        .iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// 1-based line of the first line containing `needle`.
+fn line_of(text: &str, needle: &str) -> usize {
+    text.lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("needle {needle:?} not found in fixture"))
+}
+
+#[test]
+fn no_unwrap_fixture_matches_expectations() {
+    let text = fixture("no_unwrap.rs");
+    let (active, suppressed) = lint(&text, "crates/core/src/fixture.rs", None);
+    assert_eq!(found(&active), expectations(&text));
+    assert_eq!(
+        suppressed.len(),
+        1,
+        "exactly the annotated unwrap is suppressed"
+    );
+    assert_eq!(suppressed[0].rule, "no-unwrap-in-lib");
+    assert_eq!(suppressed[0].line, line_of(&text, "    v.unwrap()"));
+}
+
+#[test]
+fn no_unwrap_is_scoped_to_result_crates() {
+    let text = fixture("no_unwrap.rs");
+    let (active, suppressed) = lint(&text, "crates/bench/src/fixture.rs", None);
+    assert!(active.is_empty(), "bench is out of scope: {active:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn float_eq_fixture_matches_expectations() {
+    let text = fixture("float_eq.rs");
+    let (active, suppressed) = lint(&text, "crates/nn/src/fixture.rs", None);
+    assert_eq!(found(&active), expectations(&text));
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "no-float-eq");
+    assert_eq!(suppressed[0].line, line_of(&text, "d == 0.0"));
+}
+
+#[test]
+fn determinism_fixture_matches_expectations() {
+    let text = fixture("determinism.rs");
+    let (active, suppressed) = lint(&text, "crates/models/src/fixture.rs", None);
+    assert_eq!(found(&active), expectations(&text));
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "determinism");
+    assert_eq!(
+        suppressed[0].line,
+        line_of(&text, "Instant::now().elapsed()")
+    );
+}
+
+#[test]
+fn determinism_allows_clocks_and_hashes_in_obs() {
+    let text = fixture("determinism.rs");
+    let (active, suppressed) = lint(&text, "crates/obs/src/fixture.rs", None);
+    assert!(active.is_empty(), "obs may read the clock: {active:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn obs_schema_fixture_matches_expectations() {
+    let text = fixture("obs_schema.rs");
+    let schema = ObsSchema::from_patterns(&[
+        "eadrl.fit",
+        "eadrl.weights",
+        "eadrl.*.skipped",
+        "bench.dataset",
+    ]);
+    let (active, suppressed) = lint(&text, "crates/core/src/fixture.rs", Some(schema));
+    assert_eq!(found(&active), expectations(&text));
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "obs-event-schema");
+    assert_eq!(suppressed[0].line, line_of(&text, "fixture.only"));
+}
+
+#[test]
+fn obs_schema_rule_is_silent_without_a_schema() {
+    let text = fixture("obs_schema.rs");
+    let (active, _) = lint(&text, "crates/core/src/fixture.rs", None);
+    assert!(
+        active.iter().all(|f| f.rule != "obs-event-schema"),
+        "no schema, no schema findings: {active:?}"
+    );
+}
+
+#[test]
+fn doc_header_fixture_matches_expectations() {
+    let text = fixture("doc_header.rs");
+    let (active, suppressed) = lint(&text, "crates/linalg/src/fixture.rs", None);
+    assert_eq!(found(&active), expectations(&text));
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "doc-header");
+    assert_eq!(
+        suppressed[0].line,
+        line_of(&text, "pub struct SuppressedStruct")
+    );
+}
+
+#[test]
+fn doc_header_is_scoped_to_linalg_and_timeseries() {
+    let text = fixture("doc_header.rs");
+    let (active, suppressed) = lint(&text, "crates/models/src/fixture.rs", None);
+    assert!(active.is_empty(), "models is out of scope: {active:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn tricky_lexer_inputs_produce_zero_findings() {
+    let text = fixture("lexer_tricky.rs");
+    let (active, suppressed) = lint(&text, "crates/core/src/fixture.rs", None);
+    assert!(
+        active.is_empty(),
+        "strings/comments must hide code: {active:?}"
+    );
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn suppression_markers_are_validated() {
+    let text = fixture("suppression.rs");
+    let (active, suppressed) = lint(&text, "crates/core/src/fixture.rs", None);
+    let expected: Vec<(usize, String)> = vec![
+        (
+            line_of(&text, "allow(not-a-rule)"),
+            SUPPRESSION_RULE.to_string(),
+        ),
+        (
+            line_of(&text, "allow(no-float-eq)"),
+            SUPPRESSION_RULE.to_string(),
+        ),
+        (
+            line_of(&text, "malformed marker with no allow() clause"),
+            SUPPRESSION_RULE.to_string(),
+        ),
+    ];
+    let mut expected = expected;
+    expected.sort();
+    assert_eq!(found(&active), expected);
+    // Both well-formed markers (standalone and trailing) suppress.
+    assert_eq!(suppressed.len(), 2);
+    assert!(suppressed.iter().all(|f| f.rule == "no-unwrap-in-lib"));
+}
+
+/// End-to-end acceptance: the workspace itself is lint-clean under the
+/// real `DESIGN.md` schema. New findings must be fixed or annotated, so
+/// this test is the `cargo test` twin of the blocking CI step.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let md = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    let schema = ObsSchema::from_design_md(&md);
+    assert!(
+        schema.is_some(),
+        "DESIGN.md telemetry schema table must parse"
+    );
+    let ctx = LintContext { schema };
+    let rules = default_rules();
+    let mut bad = Vec::new();
+    for dir in ["crates", "src"] {
+        for path in eadrl_lint::collect_rs_files(&root.join(dir)).expect("walk workspace") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&path).expect("read source");
+            let (active, _) = lint_source(&rules, &ctx, &rel, &text);
+            bad.extend(active);
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "workspace must stay lint-clean; fix or annotate:\n{}",
+        bad.iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

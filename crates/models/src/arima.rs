@@ -246,7 +246,8 @@ impl Forecaster for Arima {
         let mut levels: Vec<f64> = Vec::with_capacity(self.d);
         let mut cur = history.to_vec();
         for _ in 0..self.d {
-            levels.push(*cur.last().expect("non-empty by construction"));
+            let Some(&last) = cur.last() else { break };
+            levels.push(last);
             cur = difference(&cur, 1);
         }
         let mut out = pred;

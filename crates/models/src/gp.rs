@@ -84,6 +84,7 @@ impl TabularModel for GpRegressor {
             match Cholesky::new(&kj) {
                 Ok(ch) => break ch,
                 Err(_) if jitter < 1.0 => {
+                    // eadrl-lint: allow(no-float-eq): sentinel test — jitter is exactly 0.0 only before the first escalation
                     jitter = if jitter == 0.0 { 1e-8 } else { jitter * 10.0 };
                 }
                 Err(e) => {

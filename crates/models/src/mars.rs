@@ -49,7 +49,7 @@ impl MarsRegressor {
         self.basis.len()
     }
 
-    fn design(&self, inputs: &[Vec<f64>]) -> Matrix {
+    fn design(&self, inputs: &[Vec<f64>]) -> Result<Matrix, ModelError> {
         let rows: Vec<Vec<f64>> = inputs
             .iter()
             .map(|x| {
@@ -59,7 +59,9 @@ impl MarsRegressor {
                 r
             })
             .collect();
-        Matrix::from_rows(&rows).expect("rectangular design")
+        Matrix::from_rows(&rows).map_err(|e| ModelError::Numerical {
+            context: format!("MARS design matrix: {e}"),
+        })
     }
 }
 
@@ -139,7 +141,7 @@ impl TabularModel for MarsRegressor {
         }
 
         // Joint ridge refit of all coefficients.
-        let x = self.design(inputs);
+        let x = self.design(inputs)?;
         self.coef = ridge(&x, targets, 1e-6).map_err(|e| ModelError::Numerical {
             context: e.to_string(),
         })?;

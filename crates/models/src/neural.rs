@@ -31,6 +31,30 @@ fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
     idx
 }
 
+/// Two freshly built layers trained as one parameter group, so Adam's
+/// positional moment buffers line up across batches. Training on locals
+/// (and storing them only after the loop) keeps the `Option` fields out
+/// of the hot path entirely — no `.expect("initialized")` needed.
+struct ParamGroup2<'a, A: Network, B: Network>(&'a mut A, &'a mut B);
+
+impl<A: Network, B: Network> Network for ParamGroup2<'_, A, B> {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.0.visit_params(f);
+        self.1.visit_params(f);
+    }
+}
+
+/// Three-layer variant of [`ParamGroup2`] (conv/LSTM/head stacks).
+struct ParamGroup3<'a, A: Network, B: Network, C: Network>(&'a mut A, &'a mut B, &'a mut C);
+
+impl<A: Network, B: Network, C: Network> Network for ParamGroup3<'_, A, B, C> {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.0.visit_params(f);
+        self.1.visit_params(f);
+        self.2.visit_params(f);
+    }
+}
+
 /// MLP regressor over windows (paper family **MLP**).
 #[derive(Debug, Clone)]
 pub struct MlpRegressor {
@@ -133,15 +157,6 @@ impl LstmRegressor {
     }
 }
 
-impl Network for LstmRegressor {
-    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
-        if let (Some(lstm), Some(head)) = (self.lstm.as_mut(), self.head.as_mut()) {
-            lstm.visit_params(f);
-            head.visit_params(f);
-        }
-    }
-}
-
 impl TabularModel for LstmRegressor {
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
         if inputs.is_empty() || inputs.len() != targets.len() {
@@ -151,29 +166,28 @@ impl TabularModel for LstmRegressor {
             });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.lstm = Some(Lstm::new(&mut rng, 1, self.hidden));
-        self.head = Some(Dense::new(&mut rng, self.hidden, 1, Activation::Identity));
+        let mut lstm = Lstm::new(&mut rng, 1, self.hidden);
+        let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
-                self.zero_grad();
+                let mut group = ParamGroup2(&mut lstm, &mut head);
+                group.zero_grad();
                 for &i in chunk {
                     let seq = window_to_seq(&inputs[i]);
-                    let h = self
-                        .lstm
-                        .as_mut()
-                        .expect("initialized")
-                        .forward_sequence(&seq);
-                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let h = group.0.forward_sequence(&seq);
+                    let y = group.1.forward(&h);
                     let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = self.head.as_mut().expect("initialized").backward(&g);
-                    self.lstm.as_mut().expect("initialized").backward_last(&gh);
+                    let gh = group.1.backward(&g);
+                    group.0.backward_last(&gh);
                 }
-                self.clip_grad_norm(5.0);
-                opt.step(self);
+                group.clip_grad_norm(5.0);
+                opt.step(&mut group);
             }
         }
+        self.lstm = Some(lstm);
+        self.head = Some(head);
         Ok(())
     }
 
@@ -211,15 +225,6 @@ impl BiLstmRegressor {
     }
 }
 
-impl Network for BiLstmRegressor {
-    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
-        if let (Some(b), Some(head)) = (self.bilstm.as_mut(), self.head.as_mut()) {
-            b.visit_params(f);
-            head.visit_params(f);
-        }
-    }
-}
-
 impl TabularModel for BiLstmRegressor {
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
         if inputs.is_empty() || inputs.len() != targets.len() {
@@ -229,37 +234,28 @@ impl TabularModel for BiLstmRegressor {
             });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.bilstm = Some(BiLstm::new(&mut rng, 1, self.hidden));
-        self.head = Some(Dense::new(
-            &mut rng,
-            2 * self.hidden,
-            1,
-            Activation::Identity,
-        ));
+        let mut bilstm = BiLstm::new(&mut rng, 1, self.hidden);
+        let mut head = Dense::new(&mut rng, 2 * self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
-                self.zero_grad();
+                let mut group = ParamGroup2(&mut bilstm, &mut head);
+                group.zero_grad();
                 for &i in chunk {
                     let seq = window_to_seq(&inputs[i]);
-                    let h = self
-                        .bilstm
-                        .as_mut()
-                        .expect("initialized")
-                        .forward_sequence(&seq);
-                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let h = group.0.forward_sequence(&seq);
+                    let y = group.1.forward(&h);
                     let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = self.head.as_mut().expect("initialized").backward(&g);
-                    self.bilstm
-                        .as_mut()
-                        .expect("initialized")
-                        .backward_last(&gh);
+                    let gh = group.1.backward(&g);
+                    group.0.backward_last(&gh);
                 }
-                self.clip_grad_norm(5.0);
-                opt.step(self);
+                group.clip_grad_norm(5.0);
+                opt.step(&mut group);
             }
         }
+        self.bilstm = Some(bilstm);
+        self.head = Some(head);
         Ok(())
     }
 
@@ -326,18 +322,6 @@ impl CnnLstmRegressor {
     }
 }
 
-impl Network for CnnLstmRegressor {
-    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
-        if let (Some(conv), Some(lstm), Some(head)) =
-            (self.conv.as_mut(), self.lstm.as_mut(), self.head.as_mut())
-        {
-            conv.visit_params(f);
-            lstm.visit_params(f);
-            head.visit_params(f);
-        }
-    }
-}
-
 impl TabularModel for CnnLstmRegressor {
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
         if inputs.is_empty() || inputs.len() != targets.len() {
@@ -353,43 +337,33 @@ impl TabularModel for CnnLstmRegressor {
             });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.conv = Some(Conv1d::new(
-            &mut rng,
-            1,
-            self.channels,
-            self.kernel,
-            Activation::Relu,
-        ));
-        self.lstm = Some(Lstm::new(&mut rng, self.channels, self.hidden));
-        self.head = Some(Dense::new(&mut rng, self.hidden, 1, Activation::Identity));
+        let mut conv = Conv1d::new(&mut rng, 1, self.channels, self.kernel, Activation::Relu);
+        let mut lstm = Lstm::new(&mut rng, self.channels, self.hidden);
+        let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
-                self.zero_grad();
+                let mut group = ParamGroup3(&mut conv, &mut lstm, &mut head);
+                group.zero_grad();
                 for &i in chunk {
-                    let conv_out = self
-                        .conv
-                        .as_mut()
-                        .expect("initialized")
-                        .forward(&[inputs[i].clone()]);
+                    let conv_out = group.0.forward(&[inputs[i].clone()]);
                     let seq = Self::conv_to_seq(&conv_out);
-                    let h = self
-                        .lstm
-                        .as_mut()
-                        .expect("initialized")
-                        .forward_sequence(&seq);
-                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let h = group.1.forward_sequence(&seq);
+                    let y = group.2.forward(&h);
                     let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = self.head.as_mut().expect("initialized").backward(&g);
-                    let gseq = self.lstm.as_mut().expect("initialized").backward_last(&gh);
+                    let gh = group.2.backward(&g);
+                    let gseq = group.1.backward_last(&gh);
                     let gconv = Self::seq_grad_to_conv(&gseq, self.channels);
-                    self.conv.as_mut().expect("initialized").backward(&gconv);
+                    group.0.backward(&gconv);
                 }
-                self.clip_grad_norm(5.0);
-                opt.step(self);
+                group.clip_grad_norm(5.0);
+                opt.step(&mut group);
             }
         }
+        self.conv = Some(conv);
+        self.lstm = Some(lstm);
+        self.head = Some(head);
         Ok(())
     }
 
@@ -435,15 +409,6 @@ impl ConvLstmRegressor {
     }
 }
 
-impl Network for ConvLstmRegressor {
-    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
-        if let (Some(lstm), Some(head)) = (self.lstm.as_mut(), self.head.as_mut()) {
-            lstm.visit_params(f);
-            head.visit_params(f);
-        }
-    }
-}
-
 impl TabularModel for ConvLstmRegressor {
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
         if inputs.is_empty() || inputs.len() != targets.len() {
@@ -454,29 +419,28 @@ impl TabularModel for ConvLstmRegressor {
         }
         let in_dim = self.patch.min(inputs[0].len());
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.lstm = Some(Lstm::new(&mut rng, in_dim, self.hidden));
-        self.head = Some(Dense::new(&mut rng, self.hidden, 1, Activation::Identity));
+        let mut lstm = Lstm::new(&mut rng, in_dim, self.hidden);
+        let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
-                self.zero_grad();
+                let mut group = ParamGroup2(&mut lstm, &mut head);
+                group.zero_grad();
                 for &i in chunk {
                     let seq = window_to_patches(&inputs[i], in_dim);
-                    let h = self
-                        .lstm
-                        .as_mut()
-                        .expect("initialized")
-                        .forward_sequence(&seq);
-                    let y = self.head.as_mut().expect("initialized").forward(&h);
+                    let h = group.0.forward_sequence(&seq);
+                    let y = group.1.forward(&h);
                     let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = self.head.as_mut().expect("initialized").backward(&g);
-                    self.lstm.as_mut().expect("initialized").backward_last(&gh);
+                    let gh = group.1.backward(&g);
+                    group.0.backward_last(&gh);
                 }
-                self.clip_grad_norm(5.0);
-                opt.step(self);
+                group.clip_grad_norm(5.0);
+                opt.step(&mut group);
             }
         }
+        self.lstm = Some(lstm);
+        self.head = Some(head);
         Ok(())
     }
 
@@ -522,18 +486,6 @@ impl StackedLstmRegressor {
     }
 }
 
-impl Network for StackedLstmRegressor {
-    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
-        if let (Some(l1), Some(l2), Some(head)) =
-            (self.lstm1.as_mut(), self.lstm2.as_mut(), self.head.as_mut())
-        {
-            l1.visit_params(f);
-            l2.visit_params(f);
-            head.visit_params(f);
-        }
-    }
-}
-
 impl TabularModel for StackedLstmRegressor {
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError> {
         if inputs.is_empty() || inputs.len() != targets.len() {
@@ -543,43 +495,32 @@ impl TabularModel for StackedLstmRegressor {
             });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.lstm1 = Some(Lstm::new(&mut rng, 1, self.hidden1));
-        self.lstm2 = Some(Lstm::new(&mut rng, self.hidden1, self.hidden2));
-        self.head = Some(Dense::new(&mut rng, self.hidden2, 1, Activation::Identity));
+        let mut lstm1 = Lstm::new(&mut rng, 1, self.hidden1);
+        let mut lstm2 = Lstm::new(&mut rng, self.hidden1, self.hidden2);
+        let mut head = Dense::new(&mut rng, self.hidden2, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
-                self.zero_grad();
+                let mut group = ParamGroup3(&mut lstm1, &mut lstm2, &mut head);
+                group.zero_grad();
                 for &i in chunk {
                     let seq = window_to_seq(&inputs[i]);
-                    let hs1 = self
-                        .lstm1
-                        .as_mut()
-                        .expect("initialized")
-                        .forward_sequence_full(&seq);
-                    let h2 = self
-                        .lstm2
-                        .as_mut()
-                        .expect("initialized")
-                        .forward_sequence(&hs1);
-                    let y = self.head.as_mut().expect("initialized").forward(&h2);
+                    let hs1 = group.0.forward_sequence_full(&seq);
+                    let h2 = group.1.forward_sequence(&hs1);
+                    let y = group.2.forward(&h2);
                     let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh2 = self.head.as_mut().expect("initialized").backward(&g);
-                    let gh1 = self
-                        .lstm2
-                        .as_mut()
-                        .expect("initialized")
-                        .backward_last(&gh2);
-                    self.lstm1
-                        .as_mut()
-                        .expect("initialized")
-                        .backward_full(&gh1);
+                    let gh2 = group.2.backward(&g);
+                    let gh1 = group.1.backward_last(&gh2);
+                    group.0.backward_full(&gh1);
                 }
-                self.clip_grad_norm(5.0);
-                opt.step(self);
+                group.clip_grad_norm(5.0);
+                opt.step(&mut group);
             }
         }
+        self.lstm1 = Some(lstm1);
+        self.lstm2 = Some(lstm2);
+        self.head = Some(head);
         Ok(())
     }
 

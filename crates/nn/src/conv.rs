@@ -125,6 +125,7 @@ impl Conv1d {
         for (oc, (goch, yoch)) in grad_output.iter().zip(self.cache_output.iter()).enumerate() {
             for (t, (&gy, &y)) in goch.iter().zip(yoch.iter()).enumerate() {
                 let dz = gy * self.activation.derivative_from_output(y);
+                // eadrl-lint: allow(no-float-eq): ReLU subgradient — exact zero means no gradient flows, skip is lossless
                 if dz == 0.0 {
                     continue;
                 }

@@ -135,6 +135,7 @@ impl Dense {
         for (j, (&gy, &y)) in grad_output.iter().zip(self.cache_output.iter()).enumerate() {
             // Chain through the activation.
             let dz = gy * self.activation.derivative_from_output(y);
+            // eadrl-lint: allow(no-float-eq): activation subgradient — exact zero means no gradient flows, skip is lossless
             if dz == 0.0 {
                 continue;
             }

@@ -239,6 +239,7 @@ impl Lstm {
             let mut dh_prev = vec![0.0; hsz];
             for row in 0..4 * hsz {
                 let d = dz[row];
+                // eadrl-lint: allow(no-float-eq): subgradient sparsity skip — exact zero contributes nothing to any parameter
                 if d == 0.0 {
                     continue;
                 }

@@ -47,10 +47,10 @@ impl Mlp {
     /// Replaces the final layer with a small-uniform-initialized one
     /// (DDPG-style: keeps initial outputs near zero).
     pub fn with_small_final_layer(mut self, rng: &mut StdRng, scale: f64) -> Self {
-        if let Some(last) = self.layers.last() {
+        if let Some(last) = self.layers.last_mut() {
             let (in_dim, out_dim) = (last.in_dim(), last.out_dim());
             let act = Activation::Identity;
-            *self.layers.last_mut().unwrap() = Dense::new_small(rng, in_dim, out_dim, act, scale);
+            *last = Dense::new_small(rng, in_dim, out_dim, act, scale);
         }
         self
     }

@@ -478,8 +478,9 @@ impl DdpgAgent {
     pub fn init_actor_output_bias(&mut self, bias: &[f64]) {
         assert_eq!(bias.len(), self.action_dim, "bias/action dim mismatch");
         for net in [&mut self.actor, &mut self.target_actor] {
-            let layer = net.final_layer_mut().expect("actor has layers");
-            layer.bias_mut().copy_from_slice(bias);
+            if let Some(layer) = net.final_layer_mut() {
+                layer.bias_mut().copy_from_slice(bias);
+            }
         }
     }
 

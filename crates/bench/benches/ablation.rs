@@ -2,7 +2,7 @@
 //! DESIGN.md: reward computation (rank vs NRMSE), action squash variants,
 //! and the window size ω.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eadrl_bench::harness::Harness;
 use eadrl_bench::{build_pool, fit_pool, prediction_matrix, Scale};
 use eadrl_core::experiment::sanitize_predictions;
 use eadrl_core::{EnsembleEnv, RewardKind};
@@ -23,7 +23,7 @@ fn prepared(reward: RewardKind, omega: usize) -> EnsembleEnv {
     EnsembleEnv::new(preds, warm_part.to_vec(), omega, reward, 1_000_000)
 }
 
-fn bench_rewards(c: &mut Criterion) {
+fn bench_rewards(c: &mut Harness) {
     let mut group = c.benchmark_group("env_step_reward");
     for (label, reward) in [
         ("rank_eq3", RewardKind::Rank { normalize: true }),
@@ -46,7 +46,7 @@ fn bench_rewards(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_squash(c: &mut Criterion) {
+fn bench_squash(c: &mut Harness) {
     let raw: Vec<f64> = (0..43).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
     let mut group = c.benchmark_group("action_squash");
     for (label, squash) in [
@@ -69,10 +69,10 @@ fn bench_squash(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_omega_sweep(c: &mut Criterion) {
+fn bench_omega_sweep(c: &mut Harness) {
     let mut group = c.benchmark_group("env_step_omega");
     for omega in [5usize, 10, 20, 40] {
-        group.bench_with_input(BenchmarkId::from_parameter(omega), &omega, |b, &omega| {
+        group.bench_function(format!("{omega}"), |b| {
             let mut env = prepared(RewardKind::Rank { normalize: true }, omega);
             let m = env.action_dim();
             let action = vec![1.0 / m as f64; m];
@@ -89,12 +89,12 @@ fn bench_omega_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
+fn main() {
+    let mut h = Harness::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(20);
-    targets = bench_rewards, bench_squash, bench_omega_sweep
+    bench_rewards(&mut h);
+    bench_squash(&mut h);
+    bench_omega_sweep(&mut h);
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! one-step prediction cost. These dominate the end-to-end online loop
 //! (see the Table III discussion).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eadrl_bench::harness::Harness;
 use eadrl_datasets::{generate, DatasetId};
 use eadrl_models::{
     auto_regressive, decision_tree, gaussian_process, gradient_boosting, lstm_forecaster,
@@ -33,7 +33,7 @@ fn models() -> Vec<(&'static str, Box<dyn Forecaster>)> {
     ]
 }
 
-fn bench_fit(c: &mut Criterion) {
+fn bench_fit(c: &mut Harness) {
     let series = generate(DatasetId::BikeRentals, 480, 42);
     let train = &series.values()[..270];
     let mut group = c.benchmark_group("model_fit");
@@ -46,14 +46,13 @@ fn bench_fit(c: &mut Criterion) {
                     m.fit(black_box(train)).unwrap();
                     black_box(m.name().len())
                 },
-                BatchSize::LargeInput,
             )
         });
     }
     group.finish();
 }
 
-fn bench_predict(c: &mut Criterion) {
+fn bench_predict(c: &mut Harness) {
     let series = generate(DatasetId::BikeRentals, 480, 42);
     let train = &series.values()[..360];
     let mut group = c.benchmark_group("model_predict_next");
@@ -66,12 +65,11 @@ fn bench_predict(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
+fn main() {
+    let mut h = Harness::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(20);
-    targets = bench_fit, bench_predict
+    bench_fit(&mut h);
+    bench_predict(&mut h);
 }
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Microbenchmarks behind Table III: the per-step online cost of EA-DRL's
 //! policy inference versus the adaptive baselines' weight updates.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eadrl_bench::harness::Harness;
 use eadrl_bench::{build_pool, eadrl_config, fit_pool, prediction_matrix, Scale, OMEGA};
 use eadrl_core::baselines::{Demsc, SlidingWindowEnsemble};
 use eadrl_core::experiment::sanitize_predictions;
@@ -39,7 +39,7 @@ fn fixture() -> Fixture {
     }
 }
 
-fn bench_online(c: &mut Criterion) {
+fn bench_online(c: &mut Harness) {
     let fx = fixture();
     let scale = Scale {
         episodes: 10,
@@ -81,7 +81,6 @@ fn bench_online(c: &mut Criterion) {
                     p.observe(preds, a);
                 }
             },
-            BatchSize::LargeInput,
         )
     });
     group.bench_function("demsc_combine_120_steps", |b| {
@@ -97,18 +96,15 @@ fn bench_online(c: &mut Criterion) {
                     d.observe(preds, a);
                 }
             },
-            BatchSize::LargeInput,
         )
     });
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
+fn main() {
+    let mut h = Harness::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(20);
-    targets = bench_online
+    bench_online(&mut h);
 }
-criterion_main!(benches);

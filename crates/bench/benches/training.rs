@@ -2,7 +2,7 @@
 //! one DDPG update and one full episode under the two replay-sampling
 //! strategies of the paper.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eadrl_bench::harness::Harness;
 use eadrl_bench::{build_pool, fit_pool, prediction_matrix, Scale, OMEGA};
 use eadrl_core::experiment::sanitize_predictions;
 use eadrl_core::{EnsembleEnv, RewardKind};
@@ -35,7 +35,7 @@ fn agent_for(env: &EnsembleEnv, sampling: SamplingStrategy) -> DdpgAgent {
     DdpgAgent::new(env.state_dim(), env.action_dim(), config)
 }
 
-fn bench_training(c: &mut Criterion) {
+fn bench_training(c: &mut Harness) {
     let (_preds, _actuals, mut env) = prepared_env(RewardKind::Rank { normalize: true });
 
     // Per-update cost with a filled buffer, per sampling strategy.
@@ -86,19 +86,16 @@ fn bench_training(c: &mut Criterion) {
                     let stats = agent.run_episode(&mut env, true);
                     black_box(stats.total_reward)
                 },
-                BatchSize::LargeInput,
             )
         });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
+fn main() {
+    let mut h = Harness::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(20);
-    targets = bench_training
+    bench_training(&mut h);
 }
-criterion_main!(benches);

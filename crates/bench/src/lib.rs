@@ -17,6 +17,8 @@ use eadrl_obs::Level;
 use eadrl_timeseries::TimeSeries;
 use std::time::Instant;
 
+pub mod harness;
+
 /// The combination window used throughout the paper's Table II (ω = 10).
 pub const OMEGA: usize = 10;
 

@@ -2,9 +2,8 @@
 //! DEMSC (Saadallah, Priebe & Morik, ECML-PKDD 2019).
 
 use crate::combiner::{inverse_error_weights, Combiner, SlidingErrorWindow};
+use eadrl_rng::DetRng;
 use eadrl_timeseries::drift::PageHinkley;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Spreads SWE weights over a selected subset of models (zero elsewhere).
 fn subset_swe_weights(errors: &[f64], selected: &[usize], m: usize) -> Vec<f64> {
@@ -109,7 +108,7 @@ fn cluster_representatives(
     tracks: &[Vec<f64>],
     errors: &[f64],
     n_clusters: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Vec<usize> {
     let m = tracks.len();
     let k = n_clusters.clamp(1, m);
@@ -200,7 +199,7 @@ impl Combiner for Clus {
             return vec![1.0 / m.max(1) as f64; m];
         }
         let tracks: Vec<Vec<f64>> = (0..m).map(|i| self.window.model_track(i)).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let reps = cluster_representatives(&tracks, &errors, self.n_clusters, &mut rng);
         subset_swe_weights(&errors, &reps, m)
     }
@@ -258,7 +257,7 @@ impl Demsc {
         // Stage 2 — Clus diversity enhancement among the survivors.
         let tracks: Vec<Vec<f64>> = top.iter().map(|&i| self.window.model_track(i)).collect();
         let sub_errors: Vec<f64> = top.iter().map(|&i| errors[i]).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.reselections as u64));
+        let mut rng = DetRng::seed_from_u64(self.seed.wrapping_add(self.reselections as u64));
         let reps_local = cluster_representatives(&tracks, &sub_errors, self.n_clusters, &mut rng);
         self.committee = reps_local.into_iter().map(|local| top[local]).collect();
         self.reselections += 1;

@@ -8,7 +8,6 @@ use eadrl_linalg::vector::dot;
 use eadrl_models::{rolling_forecast, Forecaster, ModelError};
 use eadrl_obs::Level;
 use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy};
-use serde::{Deserialize, Serialize};
 
 /// Shannon entropy of a weight vector (natural log) — 0 for a one-hot
 /// weighting, `ln m` for the uniform one. A telemetry-facing summary of
@@ -22,7 +21,7 @@ pub fn weight_entropy(weights: &[f64]) -> f64 {
 }
 
 /// What advances the policy's state window online.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OnlineState {
     /// The window advances with the ensemble's own outputs — identical to
     /// the training-time MDP transition (§II-B), so the online state
@@ -39,7 +38,7 @@ pub enum OnlineState {
 /// Defaults follow the paper's reported model selection: window ω = 10,
 /// discount γ = 0.9, learning rate α = 0.01, `max.ep` = `max.iter` = 100,
 /// rank reward (Eq. 3) and median-split diversity replay sampling (Eq. 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EaDrlConfig {
     /// State window length ω.
     pub omega: usize,

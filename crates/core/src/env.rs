@@ -2,7 +2,6 @@
 
 use eadrl_rl::Environment;
 use eadrl_timeseries::metrics::nrmse;
-use serde::{Deserialize, Serialize};
 
 /// Normalizes a state window relative to its own mean and standard
 /// deviation, so the policy sees a level- and scale-free shape.
@@ -23,7 +22,7 @@ pub fn normalize_window(window: &[f64]) -> Vec<f64> {
 }
 
 /// Reward definition for the ensemble environment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RewardKind {
     /// The paper's Eq. 3: `r_t = m + 1 - ρ(ensemble)`, where ρ is the
     /// ensemble's rank (1 = most accurate) among the m base models plus

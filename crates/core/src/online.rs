@@ -17,10 +17,9 @@ use crate::combiner::Combiner;
 use crate::eadrl::{EaDrlConfig, EaDrlPolicy};
 use eadrl_obs::Level;
 use eadrl_timeseries::drift::PageHinkley;
-use serde::{Deserialize, Serialize};
 
 /// When to re-learn the combination policy online.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RefreshTrigger {
     /// Never refresh — behaves exactly like the paper's frozen EA-DRL.
     Never,

@@ -3,8 +3,8 @@
 use eadrl_core::baselines::opera::project_simplex;
 use eadrl_core::env::normalize_window;
 use eadrl_core::{EnsembleEnv, RewardKind};
+use eadrl_ptest::prelude::*;
 use eadrl_rl::Environment;
-use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

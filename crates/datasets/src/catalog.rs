@@ -2,10 +2,9 @@
 
 use crate::components::SeriesBuilder;
 use eadrl_timeseries::{Frequency, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of one of the paper's 20 evaluation series (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetId {
     /// 1 — Water consumption, Oporto city (daily).
     WaterConsumption,
@@ -100,7 +99,7 @@ impl DatasetId {
 }
 
 /// Metadata row of the catalogue (one per Table I entry).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSpec {
     /// Which series this is.
     pub id: DatasetId,

@@ -7,8 +7,7 @@
 //! seasonal models, drifts that favour adaptive combiners, and noise
 //! regimes that reshuffle which base model is momentarily best.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eadrl_rng::DetRng;
 
 /// Additive component of a synthetic series.
 #[derive(Debug, Clone)]
@@ -128,7 +127,7 @@ impl SeriesBuilder {
 
     /// Renders `length` values.
     pub fn build(&self, length: usize) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut out = vec![self.base_level; length];
 
         // Volatility multiplier per step (from VolatilityRegime components).
@@ -230,7 +229,7 @@ impl SeriesBuilder {
 
 /// Standard normal via Box–Muller (uses two uniforms per call; simple and
 /// adequate for synthetic data).
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut DetRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random::<f64>();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

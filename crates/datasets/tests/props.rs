@@ -1,7 +1,7 @@
 //! Property-based tests for the dataset generators.
 
 use eadrl_datasets::{generate, DatasetId, SeriesBuilder};
-use proptest::prelude::*;
+use eadrl_ptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

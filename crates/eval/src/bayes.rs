@@ -2,8 +2,7 @@
 //! "Time for a change", JMLR 2017) — the tests the paper uses for Table II.
 
 use crate::special::student_t_cdf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eadrl_rng::DetRng;
 
 /// Posterior probabilities of the three hypotheses about a difference
 /// `B − A` in loss: A better (`p_left`), practically equivalent
@@ -114,7 +113,7 @@ pub fn bayes_sign_test(diffs: &[f64], rope: f64, samples: usize, seed: u64) -> P
             counts[1] += 1.0;
         }
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let samples = samples.max(100);
     let mut wins = [0usize; 3];
     for _ in 0..samples {
@@ -139,7 +138,7 @@ pub fn bayes_sign_test(diffs: &[f64], rope: f64, samples: usize, seed: u64) -> P
 }
 
 /// Gamma(shape, 1) sampler (Marsaglia & Tsang, with the shape < 1 boost).
-fn gamma_sample(shape: f64, rng: &mut StdRng) -> f64 {
+fn gamma_sample(shape: f64, rng: &mut DetRng) -> f64 {
     if shape < 1.0 {
         // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
         let u: f64 = rng.random::<f64>().max(1e-300);
@@ -160,7 +159,7 @@ fn gamma_sample(shape: f64, rng: &mut StdRng) -> f64 {
     }
 }
 
-fn standard_normal(rng: &mut StdRng) -> f64 {
+fn standard_normal(rng: &mut DetRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random::<f64>();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -255,7 +254,7 @@ mod tests {
 
     #[test]
     fn gamma_sampler_mean_matches_shape() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         for &shape in &[0.5, 1.0, 3.0, 10.0] {
             let n = 4000;
             let mean: f64 = (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;

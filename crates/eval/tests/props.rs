@@ -2,7 +2,7 @@
 
 use eadrl_eval::special::{incomplete_beta, ln_gamma, student_t_cdf};
 use eadrl_eval::{average_ranks, bayes_sign_test, correlated_t_test, rank_with_ties};
-use proptest::prelude::*;
+use eadrl_ptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -1,7 +1,6 @@
 //! Row-major dense `f64` matrix.
 
 use crate::{LinalgError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v, vec![3.0, 7.0]);
 /// # Ok::<(), eadrl_linalg::LinalgError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use eadrl_linalg::{lstsq, ridge, Cholesky, Lu, Matrix, Qr, SymmetricEigen};
-use proptest::prelude::*;
+use eadrl_ptest::prelude::*;
 
 /// A random square matrix with entries in a moderate range.
 fn square(n: usize) -> impl Strategy<Value = Matrix> {

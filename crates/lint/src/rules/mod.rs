@@ -139,6 +139,7 @@ pub fn lint_source(
 /// The library crates whose non-test code must be panic-free and
 /// float-eq-clean: everything that can sit on a forecast-producing path.
 pub const RESULT_CRATES: &[&str] = &[
+    "crates/rng/src/",
     "crates/linalg/src/",
     "crates/nn/src/",
     "crates/models/src/",

@@ -17,12 +17,11 @@ use crate::tabular::{TabularModel, Windowed};
 use eadrl_nn::{
     mse_loss_grad, Activation, Adam, BiLstm, Conv1d, Dense, Lstm, Mlp, Network, Optimizer,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eadrl_rng::DetRng;
 
 const BATCH: usize = 16;
 
-fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+fn shuffled_indices(n: usize, rng: &mut DetRng) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
         let j = rng.random_range(0..=i);
@@ -86,7 +85,7 @@ impl TabularModel for MlpRegressor {
                 got: inputs.len(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut sizes = vec![inputs[0].len()];
         sizes.extend(&self.hidden);
         sizes.push(1);
@@ -165,7 +164,7 @@ impl TabularModel for LstmRegressor {
                 got: inputs.len(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut lstm = Lstm::new(&mut rng, 1, self.hidden);
         let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
@@ -233,7 +232,7 @@ impl TabularModel for BiLstmRegressor {
                 got: inputs.len(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut bilstm = BiLstm::new(&mut rng, 1, self.hidden);
         let mut head = Dense::new(&mut rng, 2 * self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
@@ -336,7 +335,7 @@ impl TabularModel for CnnLstmRegressor {
                 context: format!("window {window} shorter than conv kernel {}", self.kernel),
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut conv = Conv1d::new(&mut rng, 1, self.channels, self.kernel, Activation::Relu);
         let mut lstm = Lstm::new(&mut rng, self.channels, self.hidden);
         let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
@@ -418,7 +417,7 @@ impl TabularModel for ConvLstmRegressor {
             });
         }
         let in_dim = self.patch.min(inputs[0].len());
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut lstm = Lstm::new(&mut rng, in_dim, self.hidden);
         let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
@@ -494,7 +493,7 @@ impl TabularModel for StackedLstmRegressor {
                 got: inputs.len(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut lstm1 = Lstm::new(&mut rng, 1, self.hidden1);
         let mut lstm2 = Lstm::new(&mut rng, self.hidden1, self.hidden2);
         let mut head = Dense::new(&mut rng, self.hidden2, 1, Activation::Identity);

@@ -3,8 +3,7 @@
 use crate::forecaster::ModelError;
 use crate::tabular::{TabularModel, Windowed};
 use eadrl_linalg::vector::{dot, norm2};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eadrl_rng::DetRng;
 
 /// One additive ridge term: a unit projection direction plus a cubic
 /// polynomial ridge function fitted to the projected residuals.
@@ -126,7 +125,7 @@ impl TabularModel for PprRegressor {
             });
         }
         let dim = inputs[0].len();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         self.mean = targets.iter().sum::<f64>() / targets.len() as f64;
         let mut residuals: Vec<f64> = targets.iter().map(|t| t - self.mean).collect();
         self.terms.clear();

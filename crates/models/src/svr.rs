@@ -3,8 +3,7 @@
 
 use crate::forecaster::ModelError;
 use crate::tabular::{TabularModel, Windowed};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eadrl_rng::DetRng;
 
 /// Feature map applied before the linear SVR.
 #[derive(Debug, Clone)]
@@ -108,7 +107,7 @@ impl TabularModel for SvrRegressor {
             phases,
         } = &mut self.map
         {
-            let mut rng = StdRng::seed_from_u64(*seed);
+            let mut rng = DetRng::seed_from_u64(*seed);
             let sigma = (2.0 * *gamma).sqrt();
             *omegas = (0..*n_features)
                 .map(|_| (0..in_dim).map(|_| gaussian(&mut rng) * sigma).collect())
@@ -124,7 +123,7 @@ impl TabularModel for SvrRegressor {
 
         let n = inputs.len();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(SVR_SHUFFLE_SEED);
+        let mut rng = DetRng::seed_from_u64(SVR_SHUFFLE_SEED);
         for epoch in 0..self.epochs {
             // Fisher–Yates shuffle per epoch.
             for i in (1..n).rev() {
@@ -177,7 +176,7 @@ impl TabularModel for SvrRegressor {
 /// Fixed seed for the per-epoch SGD shuffle, so fits are reproducible.
 const SVR_SHUFFLE_SEED: u64 = 0x5B52;
 
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut DetRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random::<f64>();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

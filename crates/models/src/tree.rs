@@ -2,8 +2,7 @@
 
 use crate::forecaster::ModelError;
 use crate::tabular::{TabularModel, Windowed};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eadrl_rng::DetRng;
 
 /// One node of a regression tree.
 #[derive(Debug, Clone)]
@@ -71,7 +70,7 @@ impl TreeRegressor {
         indices: &mut [usize],
         depth: usize,
         cfg: &TreeRegressor,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
     ) -> Node {
         let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64;
         if depth >= cfg.max_depth || indices.len() < 2 * cfg.min_samples_leaf {
@@ -167,7 +166,7 @@ impl TabularModel for TreeRegressor {
         }
         let mut indices: Vec<usize> = (0..inputs.len()).collect();
         let cfg = self.clone();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         self.root = Some(TreeRegressor::build(
             inputs,
             targets,
@@ -244,7 +243,7 @@ impl TabularModel for RandomForestRegressor {
         let n_features = inputs[0].len();
         // Standard regression-forest default: mtry = max(1, p / 3).
         let mtry = (n_features / 3).max(1);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         self.trees.clear();
         for t in 0..self.n_trees {
             // Bootstrap sample.

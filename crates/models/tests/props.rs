@@ -5,7 +5,7 @@ use eadrl_models::{
     auto_regressive, decision_tree, gradient_boosting, Arima, Ets, EtsKind, Forecaster,
     TabularModel,
 };
-use proptest::prelude::*;
+use eadrl_ptest::prelude::*;
 
 /// A synthetic AR(1)-plus-level series driven by the proptest inputs.
 fn ar_series(noise: &[f64], phi: f64, level: f64) -> Vec<f64> {

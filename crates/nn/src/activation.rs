@@ -1,9 +1,7 @@
 //! Element-wise activation functions.
 
-use serde::{Deserialize, Serialize};
-
 /// An element-wise activation, applied after a linear layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// `f(x) = x`.
     Identity,

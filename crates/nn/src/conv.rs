@@ -3,8 +3,7 @@
 use crate::activation::Activation;
 use crate::init;
 use crate::network::Network;
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use eadrl_rng::DetRng;
 
 /// A 1-D convolution `out[c][t] = act(b[c] + Σ_ci Σ_k w[c][ci][k] · in[ci][t+k])`.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// `L - kernel + 1`. Inputs and outputs are channel-major
 /// (`Vec<channel> -> Vec<time>`). This is the feature extractor of the
 /// CNN-LSTM base forecaster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv1d {
     in_channels: usize,
     out_channels: usize,
@@ -33,7 +32,7 @@ impl Conv1d {
     /// # Panics
     /// Panics when `kernel == 0`.
     pub fn new(
-        rng: &mut StdRng,
+        rng: &mut DetRng,
         in_channels: usize,
         out_channels: usize,
         kernel: usize,
@@ -153,11 +152,10 @@ impl Network for Conv1d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn output_length_is_valid_conv() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let conv = Conv1d::new(&mut rng, 1, 2, 3, Activation::Identity);
         assert_eq!(conv.out_len(5), 3);
         assert_eq!(conv.out_len(3), 1);
@@ -169,7 +167,7 @@ mod tests {
 
     #[test]
     fn identity_kernel_copies_input() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let mut conv = Conv1d::new(&mut rng, 1, 1, 1, Activation::Identity);
         conv.w = vec![1.0];
         conv.b = vec![0.0];
@@ -179,7 +177,7 @@ mod tests {
 
     #[test]
     fn moving_average_kernel() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let mut conv = Conv1d::new(&mut rng, 1, 1, 2, Activation::Identity);
         conv.w = vec![0.5, 0.5];
         conv.b = vec![0.0];
@@ -189,7 +187,7 @@ mod tests {
 
     #[test]
     fn gradcheck_weights_and_inputs() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut conv = Conv1d::new(&mut rng, 2, 2, 2, Activation::Tanh);
         let input = vec![vec![0.2, -0.4, 0.6, 0.1], vec![0.5, 0.3, -0.2, 0.8]];
         let out = conv.forward(&input);
@@ -244,7 +242,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "kernel must be positive")]
     fn zero_kernel_panics() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let _ = Conv1d::new(&mut rng, 1, 1, 0, Activation::Identity);
     }
 }

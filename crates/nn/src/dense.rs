@@ -3,8 +3,7 @@
 use crate::activation::Activation;
 use crate::init;
 use crate::network::Network;
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use eadrl_rng::DetRng;
 
 /// A dense layer `y = act(W x + b)`.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// input and output so [`Dense::backward`] can run without re-computing the
 /// forward pass; gradients accumulate into `grad_w`/`grad_b` until
 /// [`Network::zero_grad`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     in_dim: usize,
     out_dim: usize,
@@ -28,7 +27,7 @@ pub struct Dense {
 impl Dense {
     /// Creates a layer with activation-appropriate initialization
     /// (He for ReLU, Xavier otherwise) and zero biases.
-    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+    pub fn new(rng: &mut DetRng, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
         let n = in_dim * out_dim;
         let w = match activation {
             Activation::Relu => init::he_uniform(rng, in_dim, n),
@@ -50,7 +49,7 @@ impl Dense {
     /// Creates a layer whose weights and biases are drawn from
     /// `U(-scale, scale)` — DDPG's near-zero final-layer initialization.
     pub fn new_small(
-        rng: &mut StdRng,
+        rng: &mut DetRng,
         in_dim: usize,
         out_dim: usize,
         activation: Activation,
@@ -161,10 +160,9 @@ impl Network for Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn layer(act: Activation) -> Dense {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         Dense::new(&mut rng, 3, 2, act)
     }
 

@@ -92,12 +92,11 @@ mod tests {
     use crate::activation::Activation;
     use crate::loss::{mse_loss, mse_loss_grad};
     use crate::mlp::Mlp;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use eadrl_rng::DetRng;
 
     #[test]
     fn mlp_gradients_pass_the_check() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut mlp = Mlp::new(&mut rng, &[3, 5, 2], Activation::Tanh, Activation::Identity);
         let x = [0.3, -0.7, 0.5];
         let target = [1.0, -0.5];
@@ -121,7 +120,7 @@ mod tests {
 
     #[test]
     fn corrupted_gradients_fail_the_check() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let mut mlp = Mlp::new(&mut rng, &[2, 3, 1], Activation::Tanh, Activation::Identity);
         let x = [0.5, -0.5];
         let target = [2.0];

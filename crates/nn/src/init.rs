@@ -1,36 +1,34 @@
 //! Weight initialization schemes.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use eadrl_rng::DetRng;
 
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Suits tanh/sigmoid layers.
-pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f64> {
+pub fn xavier_uniform(rng: &mut DetRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f64> {
     let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     (0..n).map(|_| rng.random_range(-a..a)).collect()
 }
 
 /// He/Kaiming uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / fan_in)`. Suits ReLU layers.
-pub fn he_uniform(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f64> {
+pub fn he_uniform(rng: &mut DetRng, fan_in: usize, n: usize) -> Vec<f64> {
     let a = (6.0 / fan_in.max(1) as f64).sqrt();
     (0..n).map(|_| rng.random_range(-a..a)).collect()
 }
 
 /// Small uniform initialization `U(-scale, scale)`, used by DDPG for the
 /// final layers of actor and critic so early actions stay near zero.
-pub fn small_uniform(rng: &mut StdRng, scale: f64, n: usize) -> Vec<f64> {
+pub fn small_uniform(rng: &mut DetRng, scale: f64, n: usize) -> Vec<f64> {
     (0..n).map(|_| rng.random_range(-scale..scale)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn xavier_bounds_hold() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let w = xavier_uniform(&mut rng, 8, 8, 1000);
         let a = (6.0_f64 / 16.0).sqrt();
         assert!(w.iter().all(|x| x.abs() < a));
@@ -39,7 +37,7 @@ mod tests {
 
     #[test]
     fn he_bounds_hold() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let w = he_uniform(&mut rng, 6, 500);
         let a = 1.0_f64;
         assert!(w.iter().all(|x| x.abs() < a));
@@ -47,15 +45,15 @@ mod tests {
 
     #[test]
     fn small_uniform_is_small() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let w = small_uniform(&mut rng, 3e-3, 100);
         assert!(w.iter().all(|x| x.abs() < 3e-3));
     }
 
     #[test]
     fn init_is_seed_deterministic() {
-        let mut a = StdRng::seed_from_u64(9);
-        let mut b = StdRng::seed_from_u64(9);
+        let mut a = DetRng::seed_from_u64(9);
+        let mut b = DetRng::seed_from_u64(9);
         assert_eq!(
             xavier_uniform(&mut a, 4, 4, 10),
             xavier_uniform(&mut b, 4, 4, 10)
@@ -64,7 +62,7 @@ mod tests {
 
     #[test]
     fn zero_fan_in_does_not_divide_by_zero() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let w = he_uniform(&mut rng, 0, 4);
         assert!(w.iter().all(|x| x.is_finite()));
     }

@@ -2,11 +2,10 @@
 
 use crate::init;
 use crate::network::Network;
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use eadrl_rng::DetRng;
 
 /// Per-timestep cache of everything the backward pass needs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct StepCache {
     x: Vec<f64>,
     h_prev: Vec<f64>,
@@ -29,7 +28,7 @@ struct StepCache {
 /// previous hidden state (shape `4H x H`), `b` is the bias (`4H`; the
 /// forget-gate slice is initialized to 1.0, the standard trick that keeps
 /// memory open early in training).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Lstm {
     in_dim: usize,
     hidden: usize,
@@ -44,7 +43,7 @@ pub struct Lstm {
 
 impl Lstm {
     /// Creates an LSTM with Xavier-initialized weights.
-    pub fn new(rng: &mut StdRng, in_dim: usize, hidden: usize) -> Self {
+    pub fn new(rng: &mut DetRng, in_dim: usize, hidden: usize) -> Self {
         let w = init::xavier_uniform(rng, in_dim, hidden, 4 * hidden * in_dim);
         let u = init::xavier_uniform(rng, hidden, hidden, 4 * hidden * hidden);
         let mut b = vec![0.0; 4 * hidden];
@@ -280,7 +279,7 @@ impl Network for Lstm {
 /// A bidirectional LSTM: one LSTM reads the sequence forward, another reads
 /// it reversed; the output is the concatenation of both final hidden states
 /// (length `2 * hidden`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BiLstm {
     forward: Lstm,
     backward: Lstm,
@@ -288,7 +287,7 @@ pub struct BiLstm {
 
 impl BiLstm {
     /// Creates a bidirectional LSTM; each direction has `hidden` units.
-    pub fn new(rng: &mut StdRng, in_dim: usize, hidden: usize) -> Self {
+    pub fn new(rng: &mut DetRng, in_dim: usize, hidden: usize) -> Self {
         BiLstm {
             forward: Lstm::new(rng, in_dim, hidden),
             backward: Lstm::new(rng, in_dim, hidden),
@@ -343,7 +342,6 @@ impl Network for BiLstm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn seq(vals: &[f64]) -> Vec<Vec<f64>> {
         vals.iter().map(|&v| vec![v]).collect()
@@ -351,7 +349,7 @@ mod tests {
 
     #[test]
     fn forward_matches_inference() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let mut lstm = Lstm::new(&mut rng, 1, 4);
         let inputs = seq(&[0.1, -0.2, 0.5]);
         let a = lstm.forward_sequence(&inputs);
@@ -362,7 +360,7 @@ mod tests {
 
     #[test]
     fn output_depends_on_order() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let lstm = Lstm::new(&mut rng, 1, 3);
         let a = lstm.forward_inference(&seq(&[1.0, 0.0, -1.0]));
         let b = lstm.forward_inference(&seq(&[-1.0, 0.0, 1.0]));
@@ -371,7 +369,7 @@ mod tests {
 
     #[test]
     fn bptt_gradcheck_weights() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut lstm = Lstm::new(&mut rng, 2, 3);
         let inputs = vec![vec![0.3, -0.1], vec![0.7, 0.2], vec![-0.5, 0.4]];
         // Loss = sum of final hidden state.
@@ -405,7 +403,7 @@ mod tests {
 
     #[test]
     fn bptt_gradcheck_inputs() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let mut lstm = Lstm::new(&mut rng, 1, 2);
         let inputs = seq(&[0.5, -0.3, 0.8, 0.1]);
         lstm.forward_sequence(&inputs);
@@ -430,14 +428,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "before forward_sequence")]
     fn backward_before_forward_panics() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let mut lstm = Lstm::new(&mut rng, 1, 2);
         lstm.backward_last(&[1.0, 1.0]);
     }
 
     #[test]
     fn bilstm_concatenates_directions() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = DetRng::seed_from_u64(6);
         let mut bi = BiLstm::new(&mut rng, 1, 3);
         let out = bi.forward_sequence(&seq(&[0.1, 0.2, 0.3]));
         assert_eq!(out.len(), 6);
@@ -446,7 +444,7 @@ mod tests {
 
     #[test]
     fn bilstm_gradcheck_inputs() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let mut bi = BiLstm::new(&mut rng, 1, 2);
         let inputs = seq(&[0.4, -0.6, 0.2]);
         bi.forward_sequence(&inputs);
@@ -470,7 +468,7 @@ mod tests {
 
     #[test]
     fn full_sequence_matches_stepwise_last() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = DetRng::seed_from_u64(10);
         let mut lstm = Lstm::new(&mut rng, 1, 3);
         let inputs = seq(&[0.2, -0.4, 0.9]);
         let all = lstm.forward_sequence_full(&inputs);
@@ -481,7 +479,7 @@ mod tests {
 
     #[test]
     fn backward_full_gradcheck_inputs() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let mut lstm = Lstm::new(&mut rng, 1, 2);
         let inputs = seq(&[0.3, -0.5, 0.7]);
         // Loss = sum over ALL hidden states of all components.
@@ -511,7 +509,7 @@ mod tests {
 
     #[test]
     fn forget_bias_initialized_to_one() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = DetRng::seed_from_u64(8);
         let lstm = Lstm::new(&mut rng, 1, 4);
         assert!(lstm.b[4..8].iter().all(|&v| v == 1.0));
         assert!(lstm.b[..4].iter().all(|&v| v == 0.0));

@@ -1,7 +1,6 @@
 //! Gradient-descent optimizers over [`Network`] parameter visitors.
 
 use crate::network::Network;
-use serde::{Deserialize, Serialize};
 
 /// A first-order optimizer.
 pub trait Optimizer {
@@ -18,7 +17,7 @@ pub trait Optimizer {
 }
 
 /// Plain SGD with optional classical momentum.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sgd {
     lr: f64,
     momentum: f64,
@@ -81,7 +80,7 @@ impl Optimizer for Sgd {
 }
 
 /// Adam (Kingma & Ba) with bias correction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Adam {
     lr: f64,
     beta1: f64,

@@ -6,9 +6,7 @@ use crate::replay::{ReplayBuffer, SamplingStrategy, Transition};
 use crate::squash::ActionSquash;
 use eadrl_nn::{Activation, Adam, Mlp, Network, Optimizer};
 use eadrl_obs::{Counter, Gauge, Histogram, Level};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use eadrl_rng::DetRng;
 use std::sync::Arc;
 
 /// Hyper-parameters of the DDPG agent.
@@ -16,7 +14,7 @@ use std::sync::Arc;
 /// Defaults follow the paper's EA-DRL setup where stated (γ = 0.9,
 /// learning rate α = 0.01, diversity sampling) and the original DDPG
 /// elsewhere (τ = 0.001 Polyak updates, OU exploration noise).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DdpgConfig {
     /// Discount factor γ.
     pub gamma: f64,
@@ -68,7 +66,7 @@ impl Default for DdpgConfig {
 
 /// Per-episode training statistics (the y-axis of the paper's Figure 2 is
 /// `avg_reward`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpisodeStats {
     /// Sum of rewards over the episode.
     pub total_reward: f64,
@@ -167,7 +165,7 @@ pub struct DdpgAgent {
     critic_opt: Adam,
     buffer: ReplayBuffer,
     noise: OrnsteinUhlenbeck,
-    rng: StdRng,
+    rng: DetRng,
     state_dim: usize,
     action_dim: usize,
     updates: u64,
@@ -177,7 +175,7 @@ pub struct DdpgAgent {
 impl DdpgAgent {
     /// Creates an agent for the given state/action dimensions.
     pub fn new(state_dim: usize, action_dim: usize, config: DdpgConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = DetRng::seed_from_u64(config.seed);
         let mut actor_sizes = vec![state_dim];
         actor_sizes.extend(&config.hidden);
         actor_sizes.push(action_dim);

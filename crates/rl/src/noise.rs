@@ -1,12 +1,11 @@
 //! Exploration-noise processes for continuous actions.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use eadrl_rng::DetRng;
 
 /// A stateful noise process producing one perturbation vector per call.
 pub trait Noise {
     /// Next noise vector.
-    fn sample(&mut self, rng: &mut StdRng) -> Vec<f64>;
+    fn sample(&mut self, rng: &mut DetRng) -> Vec<f64>;
 
     /// Resets any internal state (called at episode boundaries).
     fn reset(&mut self);
@@ -39,7 +38,7 @@ impl OrnsteinUhlenbeck {
 }
 
 impl Noise for OrnsteinUhlenbeck {
-    fn sample(&mut self, rng: &mut StdRng) -> Vec<f64> {
+    fn sample(&mut self, rng: &mut DetRng) -> Vec<f64> {
         for x in self.state.iter_mut() {
             *x += self.theta * (self.mu - *x) + self.sigma * gaussian(rng);
         }
@@ -95,7 +94,7 @@ impl GaussianNoise {
 }
 
 impl Noise for GaussianNoise {
-    fn sample(&mut self, rng: &mut StdRng) -> Vec<f64> {
+    fn sample(&mut self, rng: &mut DetRng) -> Vec<f64> {
         let out = (0..self.dim).map(|_| self.sigma * gaussian(rng)).collect();
         self.sigma *= self.decay;
         out
@@ -110,7 +109,7 @@ impl Noise for GaussianNoise {
     }
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut DetRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random::<f64>();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -119,13 +118,12 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ou_reverts_to_mean() {
         let mut ou = OrnsteinUhlenbeck::new(1, 0.0, 0.15, 0.0); // no noise
         ou.state[0] = 10.0;
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         for _ in 0..100 {
             ou.sample(&mut rng);
         }
@@ -135,7 +133,7 @@ mod tests {
     #[test]
     fn ou_is_temporally_correlated() {
         let mut ou = OrnsteinUhlenbeck::new(1, 0.0, 0.15, 0.2);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let samples: Vec<f64> = (0..500).map(|_| ou.sample(&mut rng)[0]).collect();
         // Lag-1 autocorrelation of OU with theta = 0.15 is ≈ 0.85.
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
@@ -150,7 +148,7 @@ mod tests {
     #[test]
     fn ou_reset_restores_mean() {
         let mut ou = OrnsteinUhlenbeck::new(3, 0.5, 0.15, 0.2);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         ou.sample(&mut rng);
         ou.reset();
         assert_eq!(ou.state, vec![0.5; 3]);
@@ -160,7 +158,7 @@ mod tests {
     #[test]
     fn gaussian_noise_has_requested_scale() {
         let mut g = GaussianNoise::new(1, 2.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let samples: Vec<f64> = (0..2000).map(|_| g.sample(&mut rng)[0]).collect();
         let var: f64 = samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
         assert!((var.sqrt() - 2.0).abs() < 0.2, "std = {}", var.sqrt());
@@ -168,7 +166,7 @@ mod tests {
 
     #[test]
     fn noise_vectors_have_requested_dimension() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = DetRng::seed_from_u64(8);
         let mut ou = OrnsteinUhlenbeck::new(7, 0.0, 0.15, 0.2);
         assert_eq!(ou.sample(&mut rng).len(), 7);
         let mut g = GaussianNoise::new(5, 1.0);
@@ -179,7 +177,7 @@ mod tests {
     #[test]
     fn decay_shrinks_sigma_and_reset_restores() {
         let mut g = GaussianNoise::with_decay(2, 1.0, 0.9);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         for _ in 0..10 {
             g.sample(&mut rng);
         }

@@ -1,11 +1,9 @@
 //! Experience replay with uniform and diversity (median-split) sampling.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use eadrl_rng::DetRng;
 
 /// One stored transition `(s, a, r, s', done)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// State the action was taken in.
     pub state: Vec<f64>,
@@ -20,7 +18,7 @@ pub struct Transition {
 }
 
 /// How mini-batches are drawn from the buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SamplingStrategy {
     /// Uniform random sampling — the original DDPG of Lillicrap et al.
     Uniform,
@@ -34,7 +32,7 @@ pub enum SamplingStrategy {
 ///
 /// ```
 /// use eadrl_rl::{ReplayBuffer, SamplingStrategy, Transition};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use eadrl_rng::DetRng;
 ///
 /// let mut buffer = ReplayBuffer::new(100);
 /// for reward in [0.1, 0.9, 0.5] {
@@ -43,7 +41,7 @@ pub enum SamplingStrategy {
 ///         reward, next_state: vec![0.0], done: false,
 ///     });
 /// }
-/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut rng = DetRng::seed_from_u64(0);
 /// let batch = buffer.sample(2, SamplingStrategy::Diversity, &mut rng);
 /// assert_eq!(batch.len(), 2);
 /// ```
@@ -103,7 +101,7 @@ impl ReplayBuffer {
         &self,
         n: usize,
         strategy: SamplingStrategy,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
     ) -> Vec<&Transition> {
         if self.storage.is_empty() || n == 0 {
             return Vec::new();
@@ -165,7 +163,6 @@ impl ReplayBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn t(reward: f64) -> Transition {
         Transition {
@@ -197,7 +194,7 @@ mod tests {
         for i in 0..10 {
             buf.push(t(i as f64));
         }
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let batch = buf.sample(200, SamplingStrategy::Uniform, &mut rng);
         assert_eq!(batch.len(), 200);
         let distinct: std::collections::BTreeSet<i64> =
@@ -215,7 +212,7 @@ mod tests {
         for _ in 0..10 {
             buf.push(t(10.0));
         }
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let batch = buf.sample(100, SamplingStrategy::Diversity, &mut rng);
         let high = batch.iter().filter(|x| x.reward >= 5.0).count();
         // Exactly half the batch must come from the >= median pool.
@@ -238,7 +235,7 @@ mod tests {
         for _ in 0..10 {
             buf.push(t(1.0));
         }
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let batch = buf.sample(8, SamplingStrategy::Diversity, &mut rng);
         assert_eq!(batch.len(), 8);
     }
@@ -246,7 +243,7 @@ mod tests {
     #[test]
     fn empty_buffer_samples_nothing() {
         let buf = ReplayBuffer::new(5);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         assert!(buf
             .sample(4, SamplingStrategy::Uniform, &mut rng)
             .is_empty());

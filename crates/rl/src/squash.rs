@@ -1,7 +1,5 @@
 //! Differentiable output maps applied to the raw actor output.
 
-use serde::{Deserialize, Serialize};
-
 /// How raw actor outputs are mapped into the environment's action space.
 ///
 /// The EA-DRL paper applies "a standard normalization … to the output of
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// one" — that is [`ActionSquash::Softmax`]. [`ActionSquash::Tanh`] is the
 /// classical DDPG bounded-action map and [`ActionSquash::Identity`] leaves
 /// actions unbounded.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ActionSquash {
     /// No transformation.
     Identity,

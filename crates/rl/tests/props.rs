@@ -1,9 +1,8 @@
 //! Property-based tests for the RL substrate.
 
+use eadrl_ptest::prelude::*;
 use eadrl_rl::{ActionSquash, ReplayBuffer, SamplingStrategy, Transition};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eadrl_rng::DetRng;
 
 fn transition(reward: f64) -> Transition {
     Transition {
@@ -43,7 +42,7 @@ proptest! {
         }
         let median = buf.reward_median();
         let any_below = rewards.iter().any(|&r| r < median);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let batch = buf.sample(n, SamplingStrategy::Diversity, &mut rng);
         prop_assert_eq!(batch.len(), n);
         let high = batch.iter().filter(|t| t.reward >= median).count();
@@ -64,7 +63,7 @@ proptest! {
         for &r in &rewards {
             buf.push(transition(r));
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         for t in buf.sample(n, SamplingStrategy::Uniform, &mut rng) {
             prop_assert!(rewards.iter().any(|&r| (r - t.reward).abs() < 1e-12));
         }

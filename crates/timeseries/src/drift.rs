@@ -5,14 +5,12 @@
 //! detected in the stream of model errors. These detectors provide that
 //! informed-update mechanism.
 
-use serde::{Deserialize, Serialize};
-
 /// Page–Hinkley test for detecting increases in the mean of a stream.
 ///
 /// Classic formulation: maintain the cumulative deviation of observations
 /// from their running mean (minus a tolerance `delta`), and signal drift
 /// when it exceeds its running minimum by more than `lambda`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageHinkley {
     delta: f64,
     lambda: f64,
@@ -73,7 +71,7 @@ impl PageHinkley {
 /// split of the window into "old | recent" halves and signals drift when
 /// the two sub-window means differ by more than a Hoeffding-style bound.
 /// On detection the older half is dropped, so the window adapts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveWindowDetector {
     window: Vec<f64>,
     max_len: usize,

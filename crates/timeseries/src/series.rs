@@ -1,10 +1,8 @@
 //! Univariate time-series container.
 
-use serde::{Deserialize, Serialize};
-
 /// Sampling frequency of a series, mirroring the cadences in the paper's
 /// Table I (daily, hourly, half-hourly, 10-minute).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Frequency {
     /// One observation per day (water consumption, river flow).
     Daily,
@@ -37,7 +35,7 @@ impl Frequency {
 /// Values are stored oldest-first. The container is intentionally small:
 /// everything analytic lives in the sibling modules and operates on slices,
 /// so models can work on windows without copying.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     name: String,
     frequency: Frequency,

@@ -1,7 +1,5 @@
 //! Scaling and differencing transforms.
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted, invertible element-wise transform.
 pub trait Scaler {
     /// Transforms one value.
@@ -24,7 +22,7 @@ pub trait Scaler {
 ///
 /// Degenerate (constant) inputs get `std = 1` so the transform stays
 /// invertible.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZScoreScaler {
     mean: f64,
     std: f64,
@@ -72,7 +70,7 @@ impl Scaler for ZScoreScaler {
 /// Rescales linearly to `[0, 1]` over the fitted range.
 ///
 /// Constant inputs map to 0.5 (and invert back exactly).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MinMaxScaler {
     min: f64,
     range: f64,

@@ -1,11 +1,11 @@
 //! Property-based tests for the time-series primitives.
 
+use eadrl_ptest::prelude::*;
 use eadrl_timeseries::embedding::{embed, sliding_windows};
 use eadrl_timeseries::metrics::{nrmse, rmse, smape};
 use eadrl_timeseries::stats::{acf, rolling_mean};
 use eadrl_timeseries::transform::{MinMaxScaler, Scaler};
 use eadrl_timeseries::{Frequency, TimeSeries};
-use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

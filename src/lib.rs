@@ -20,6 +20,7 @@
 //! * [`nn`] — a minimal neural-network library (dense, LSTM, conv1d, Adam),
 //! * [`models`] — the 16 base-forecaster families and the 43-model pool,
 //! * [`rl`] — replay buffers (uniform & diversity sampling), DDPG,
+//! * [`rng`] — the repo-owned deterministic RNG behind every seed,
 //! * [`core`] — EA-DRL itself plus every baseline combiner,
 //! * [`eval`] — Bayesian correlated t-test, Bayes sign test, rank tables,
 //! * [`obs`] — zero-dependency telemetry (spans, metrics, JSONL events).
@@ -56,4 +57,5 @@ pub use eadrl_models as models;
 pub use eadrl_nn as nn;
 pub use eadrl_obs as obs;
 pub use eadrl_rl as rl;
+pub use eadrl_rng as rng;
 pub use eadrl_timeseries as timeseries;

@@ -10,7 +10,7 @@ use eadrl::linalg::vector::{normalize_simplex, softmax};
 use eadrl::rl::ActionSquash;
 use eadrl::timeseries::metrics::{mae, rmse};
 use eadrl::timeseries::transform::{difference, undifference, Scaler, ZScoreScaler};
-use proptest::prelude::*;
+use eadrl_ptest::prelude::*;
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, len)

@@ -85,6 +85,7 @@ impl Harness {
             harness: self,
             name,
             sample_size: None,
+            completed: Vec::new(),
         }
     }
 }
@@ -95,6 +96,7 @@ pub struct Group<'a> {
     harness: &'a mut Harness,
     name: String,
     sample_size: Option<usize>,
+    completed: Vec<(String, Summary)>,
 }
 
 impl Group<'_> {
@@ -118,20 +120,44 @@ impl Group<'_> {
             result: None,
         };
         f(&mut bencher);
+        let id = id.into();
         match bencher.result {
-            Some(m) => println!("{}/{}  {}", self.name, id.into(), m.render()),
+            Some(m) => {
+                println!("{}/{}  {}", self.name, id, m.render());
+                self.completed.push((id, m.summary()));
+            }
             None => println!(
                 "{}/{}  (no measurement: bencher closure never called iter)",
-                self.name,
-                id.into(),
+                self.name, id,
             ),
         }
         self
     }
 
-    /// Marks the group complete. Nothing is deferred, so this only
-    /// exists to make call sites read like a scoped block.
-    pub fn finish(self) {}
+    /// Summaries of the benchmarks completed so far, in run order —
+    /// for bench binaries that also emit a machine-readable report.
+    pub fn measurements(&self) -> &[(String, Summary)] {
+        &self.completed
+    }
+
+    /// Marks the group complete, returning every benchmark's summary in
+    /// run order (call sites that only want the printed table may drop
+    /// the return value).
+    pub fn finish(self) -> Vec<(String, Summary)> {
+        self.completed
+    }
+}
+
+/// Public per-iteration timing summary of one benchmark, in
+/// nanoseconds — what [`Group::finish`] hands back for JSON reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
 }
 
 /// Per-iteration timing summary, in nanoseconds.
@@ -145,6 +171,14 @@ struct Measurement {
 }
 
 impl Measurement {
+    fn summary(&self) -> Summary {
+        Summary {
+            median_ns: self.median_ns,
+            mean_ns: self.mean_ns,
+            min_ns: self.min_ns,
+        }
+    }
+
     fn render(&self) -> String {
         format!(
             "median {:>10}  mean {:>10}  min {:>10}  ({} samples x {} iters)",
@@ -270,8 +304,12 @@ mod tests {
                 std::hint::black_box(calls)
             })
         });
-        group.finish();
+        assert_eq!(group.measurements().len(), 1);
+        let summaries = group.finish();
         assert!(calls > 5, "routine should run many times, ran {calls}");
+        assert_eq!(summaries[0].0, "counting");
+        assert!(summaries[0].1.min_ns <= summaries[0].1.median_ns);
+        assert!(summaries[0].1.median_ns > 0.0);
     }
 
     #[test]

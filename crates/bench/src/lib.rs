@@ -9,8 +9,8 @@ use eadrl_core::baselines::{all_baselines, Demsc};
 use eadrl_core::{Combiner, DatasetEvaluation, EaDrlConfig, EaDrlPolicy, EvaluationProtocol};
 use eadrl_datasets::{catalog, generate, DatasetId};
 use eadrl_models::{
-    gradient_boosting, lstm_forecaster, quick_pool, random_forest, rolling_forecast,
-    stacked_lstm_forecaster, standard_pool, Arima, Forecaster,
+    gradient_boosting, lstm_forecaster, quick_pool, random_forest, stacked_lstm_forecaster,
+    standard_pool, Arima, Forecaster,
 };
 use eadrl_obs::json::JsonValue;
 use eadrl_obs::Level;
@@ -169,36 +169,54 @@ pub fn evaluate_dataset(id: DatasetId, scale: Scale) -> DatasetEvaluation {
 
 /// Runs the full 20-dataset sweep, printing progress to stderr and
 /// emitting one `bench.dataset` telemetry event per dataset.
+///
+/// Datasets are independent (each builds its own pool and combiners from
+/// `scale`), so the sweep fans out one parallel task per dataset via
+/// `eadrl-par`; results come back in Table I order regardless of which
+/// dataset finishes first, and the progress lines carry the dataset
+/// number because their arrival order is scheduling-dependent.
 pub fn evaluate_all(scale: Scale) -> Vec<DatasetEvaluation> {
     let _span = eadrl_obs::span("bench.sweep");
-    DatasetId::all()
-        .into_iter()
-        .map(|id| {
-            let start = Instant::now();
-            let eval = evaluate_dataset(id, scale);
-            let seconds = start.elapsed().as_secs_f64();
-            let best = eval.ranking().first().copied().unwrap_or("-").to_string();
-            eadrl_obs::event(
-                "bench.dataset",
-                Level::Info,
-                &[
-                    ("dataset", eval.dataset.as_str().into()),
-                    ("number", id.number().into()),
-                    ("pool_size", eval.pool_size.into()),
-                    ("best_method", best.as_str().into()),
-                    ("seconds", seconds.into()),
-                ],
+    let sweep = eadrl_par::par_map(DatasetId::all().to_vec(), |id| {
+        let start = Instant::now();
+        let eval = evaluate_dataset(id, scale);
+        let seconds = start.elapsed().as_secs_f64();
+        let best = eval.ranking().first().copied().unwrap_or("-").to_string();
+        eadrl_obs::event(
+            "bench.dataset",
+            Level::Info,
+            &[
+                ("dataset", eval.dataset.as_str().into()),
+                ("number", id.number().into()),
+                ("pool_size", eval.pool_size.into()),
+                ("best_method", best.as_str().into()),
+                ("seconds", seconds.into()),
+            ],
+        );
+        eprintln!(
+            "  [{:>2}/20] {:<28} pool={} best={} ({seconds:.1}s)",
+            id.number(),
+            eval.dataset,
+            eval.pool_size,
+            best,
+        );
+        eval
+    });
+    match sweep {
+        Ok(evals) => evals,
+        Err(err) => {
+            // A panicking evaluation is a bug; fall back to the serial
+            // sweep so the failing dataset panics visibly in-thread.
+            eadrl_obs::warn(
+                "par.panic",
+                &[("context", format!("{err}").as_str().into())],
             );
-            eprintln!(
-                "  [{:>2}/20] {:<28} pool={} best={} ({seconds:.1}s)",
-                id.number(),
-                eval.dataset,
-                eval.pool_size,
-                best,
-            );
-            eval
-        })
-        .collect()
+            DatasetId::all()
+                .into_iter()
+                .map(|id| evaluate_dataset(id, scale))
+                .collect()
+        }
+    }
 }
 
 /// Wall-clock seconds for the *online* phase of one combination method on
@@ -276,31 +294,22 @@ pub fn table1_rows() -> Vec<(usize, String, String, String, String)> {
 }
 
 /// Fits a pool on `fit_part`, dropping members that cannot fit; returns the
-/// fitted pool. Shared by the Table III and Figure 2 binaries.
-pub fn fit_pool(mut pool: Vec<Box<dyn Forecaster>>, fit_part: &[f64]) -> Vec<Box<dyn Forecaster>> {
-    let mut kept = Vec::with_capacity(pool.len());
-    for mut model in pool.drain(..) {
-        if model.fit(fit_part).is_ok() {
-            kept.push(model);
-        }
-    }
+/// fitted pool. Shared by the Table III and Figure 2 binaries. Delegates
+/// to the parallel fitter the evaluation protocol itself uses.
+pub fn fit_pool(pool: Vec<Box<dyn Forecaster>>, fit_part: &[f64]) -> Vec<Box<dyn Forecaster>> {
+    let (kept, _dropped) = eadrl_core::parallel::fit_pool(pool, fit_part);
     kept
 }
 
 /// Per-step prediction matrix `preds[t][i]` of a fitted pool over a
-/// segment, with the preceding history given by `train`.
+/// segment, with the preceding history given by `train`. Delegates to
+/// the parallel matrix builder the evaluation protocol itself uses.
 pub fn prediction_matrix(
     pool: &[Box<dyn Forecaster>],
     train: &[f64],
     segment: &[f64],
 ) -> Vec<Vec<f64>> {
-    let per_model: Vec<Vec<f64>> = pool
-        .iter()
-        .map(|m| rolling_forecast(m.as_ref(), train, segment))
-        .collect();
-    (0..segment.len())
-        .map(|t| per_model.iter().map(|p| p[t]).collect())
-        .collect()
+    eadrl_core::parallel::prediction_matrix(pool, train, segment)
 }
 
 /// A crude ASCII sparkline for learning curves in terminal output.

@@ -5,7 +5,7 @@ use crate::combiner::Combiner;
 use crate::env::{normalize_window, EnsembleEnv, RewardKind};
 use crate::persist::PolicySnapshot;
 use eadrl_linalg::vector::dot;
-use eadrl_models::{rolling_forecast, Forecaster, ModelError};
+use eadrl_models::{Forecaster, ModelError};
 use eadrl_obs::Level;
 use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy};
 
@@ -515,15 +515,13 @@ impl EaDrl {
         }
         let (fit_part, val_part) = train.split_at(fit_len);
 
-        // Fit the pool, dropping members the series cannot support.
+        // Fit the pool in parallel, dropping members the series cannot
+        // support. Per-member fitting is independent (each model is
+        // seeded by its own configuration), so the fan-out is bitwise
+        // equivalent to the old serial loop at any thread count.
         self.dropped.clear();
-        let mut kept: Vec<Box<dyn Forecaster>> = Vec::with_capacity(self.pool.len());
-        for mut model in std::mem::take(&mut self.pool) {
-            match model.fit(fit_part) {
-                Ok(()) => kept.push(model),
-                Err(_) => self.dropped.push(model.name().to_string()),
-            }
-        }
+        let (kept, dropped) = crate::parallel::fit_pool(std::mem::take(&mut self.pool), fit_part);
+        self.dropped = dropped;
         if kept.is_empty() {
             return Err(ModelError::SeriesTooShort {
                 needed: 20,
@@ -589,14 +587,7 @@ impl EaDrl {
     }
 
     fn validation_predictions(&self, fit_part: &[f64], val_part: &[f64]) -> Vec<Vec<f64>> {
-        let per_model: Vec<Vec<f64>> = self
-            .pool
-            .iter()
-            .map(|model| rolling_forecast(model.as_ref(), fit_part, val_part))
-            .collect();
-        (0..val_part.len())
-            .map(|t| per_model.iter().map(|p| p[t]).collect())
-            .collect()
+        crate::parallel::prediction_matrix(&self.pool, fit_part, val_part)
     }
 
     /// One-step-ahead forecast given the observed history (Algorithm 1's

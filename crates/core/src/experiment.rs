@@ -159,14 +159,6 @@ pub fn sanitize_predictions(preds: &mut [Vec<f64>], reference: &[f64]) {
     }
 }
 
-/// Transposes per-model rolling forecasts into per-step prediction vectors.
-fn transpose(per_model: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let steps = per_model.first().map_or(0, Vec::len);
-    (0..steps)
-        .map(|t| per_model.iter().map(|p| p[t]).collect())
-        .collect()
-}
-
 impl EvaluationProtocol {
     /// Runs the full protocol on one series.
     ///
@@ -180,7 +172,7 @@ impl EvaluationProtocol {
         &self,
         dataset: &str,
         series: &[f64],
-        mut pool: Vec<Box<dyn Forecaster>>,
+        pool: Vec<Box<dyn Forecaster>>,
         standalone: Vec<(String, Box<dyn Forecaster>)>,
         combiners: Vec<Box<dyn Combiner>>,
     ) -> DatasetEvaluation {
@@ -191,52 +183,54 @@ impl EvaluationProtocol {
         let fit_len = ((train.len() as f64) * (1.0 - warm_fraction)).round() as usize;
         let (fit_part, warm_part) = train.split_at(fit_len.min(train.len().saturating_sub(2)));
 
-        // --- Pool fitting (drop members the series cannot support).
-        let mut dropped = Vec::new();
-        let mut fitted: Vec<Box<dyn Forecaster>> = Vec::with_capacity(pool.len());
-        for mut model in pool.drain(..) {
-            match model.fit(fit_part) {
-                Ok(()) => fitted.push(model),
-                Err(_) => dropped.push(model.name().to_string()),
-            }
-        }
+        // --- Pool fitting (drop members the series cannot support),
+        // fanned out across `eadrl-par` workers.
+        let (fitted, dropped) = crate::parallel::fit_pool(pool, fit_part);
 
-        // --- Base-model rolling predictions (warm-up + online segments).
-        let warm_per_model: Vec<Vec<f64>> = fitted
-            .iter()
-            .map(|m| rolling_forecast(m.as_ref(), fit_part, warm_part))
-            .collect();
-        let online_per_model: Vec<Vec<f64>> = fitted
-            .iter()
-            .map(|m| rolling_forecast(m.as_ref(), train, test))
-            .collect();
-        let mut warm_preds = transpose(&warm_per_model);
-        let mut online_preds = transpose(&online_per_model);
+        // --- Base-model rolling predictions (warm-up + online segments),
+        // one parallel task per pool member.
+        let mut warm_preds = crate::parallel::prediction_matrix(&fitted, fit_part, warm_part);
+        let mut online_preds = crate::parallel::prediction_matrix(&fitted, train, test);
         sanitize_predictions(&mut warm_preds, fit_part);
         sanitize_predictions(&mut online_preds, train);
 
         let mut results = Vec::new();
 
         // --- Standalone forecasters, fitted on the full training set.
-        for (label, mut model) in standalone {
+        // Each method is self-contained, so the whole fit + rolling
+        // evaluation runs as one parallel task; the Table III wall-clock
+        // is measured inside the task, exactly as the serial loop did.
+        let standalone_results = eadrl_par::par_map(standalone, |(label, mut model)| {
             if model.fit(train).is_err() {
-                continue;
+                return None;
             }
             // eadrl-lint: allow(determinism): wall-clock here IS the measurement — Table III reports computation time
             let start = Instant::now();
             let preds = rolling_forecast(model.as_ref(), train, test);
             let online_seconds = start.elapsed().as_secs_f64();
-            results.push(MethodResult {
+            Some(MethodResult {
                 name: label,
                 rmse: rmse(test, &preds),
                 predictions: preds,
                 online_seconds,
                 warmup_seconds: 0.0,
-            });
+            })
+        });
+        match standalone_results {
+            Ok(rows) => results.extend(rows.into_iter().flatten()),
+            // A panicking forecaster violates the Forecaster contract;
+            // report the batch and keep the sweep alive.
+            Err(err) => {
+                eadrl_obs::warn(
+                    "par.panic",
+                    &[("context", format!("{err}").as_str().into())],
+                );
+            }
         }
 
-        // --- Combination methods over the shared pool predictions.
-        for mut combiner in combiners {
+        // --- Combination methods over the shared pool predictions, one
+        // parallel task per method (they only read the shared matrices).
+        let combiner_results = eadrl_par::par_map(combiners, |mut combiner| {
             // eadrl-lint: allow(determinism): wall-clock here IS the measurement — Table III reports warm-up time
             let warm_start = Instant::now();
             combiner.warm_up(&warm_preds, warm_part);
@@ -245,13 +239,22 @@ impl EvaluationProtocol {
             let start = Instant::now();
             let preds = run_combiner(combiner.as_mut(), &online_preds, test);
             let online_seconds = start.elapsed().as_secs_f64();
-            results.push(MethodResult {
+            MethodResult {
                 name: combiner.name().to_string(),
                 rmse: rmse(test, &preds),
                 predictions: preds,
                 online_seconds,
                 warmup_seconds,
-            });
+            }
+        });
+        match combiner_results {
+            Ok(rows) => results.extend(rows),
+            Err(err) => {
+                eadrl_obs::warn(
+                    "par.panic",
+                    &[("context", format!("{err}").as_str().into())],
+                );
+            }
         }
 
         DatasetEvaluation {

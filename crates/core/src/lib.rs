@@ -23,6 +23,7 @@ pub mod eadrl;
 pub mod env;
 pub mod experiment;
 pub mod online;
+pub mod parallel;
 pub mod persist;
 pub mod tuning;
 
@@ -33,5 +34,6 @@ pub use experiment::{
     multi_horizon_rmse, sanitize_predictions, DatasetEvaluation, EvaluationProtocol, MethodResult,
 };
 pub use online::{AdaptiveEaDrl, RefreshTrigger};
+pub use parallel::{fit_pool, prediction_matrix};
 pub use persist::{PersistError, PolicySnapshot};
 pub use tuning::{tune, TuningGrid, TuningResult};

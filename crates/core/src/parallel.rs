@@ -1,0 +1,138 @@
+//! Parallel pool operations: base-model fitting and the rolling
+//! pool-prediction matrix, routed through `eadrl-par`.
+//!
+//! Both operations are embarrassingly parallel across pool members and
+//! deterministic per member (every base model is seeded by its own
+//! configuration, never by a generator shared across members), so the
+//! index-merged [`eadrl_par::par_map`] makes the parallel output
+//! bitwise identical to the serial one at every `EADRL_PAR_THREADS`
+//! setting — `crates/core/tests/par_determinism.rs` is the differential
+//! proof.
+
+use eadrl_models::{rolling_forecast, Forecaster};
+use eadrl_obs::Level;
+
+/// Fits every pool member on `fit_part` in parallel, preserving pool
+/// order. Returns the fitted members plus the names of the members the
+/// series could not support (also in pool order). A member whose `fit`
+/// panics is treated as unfittable rather than taking down the sweep.
+pub fn fit_pool(
+    pool: Vec<Box<dyn Forecaster>>,
+    fit_part: &[f64],
+) -> (Vec<Box<dyn Forecaster>>, Vec<String>) {
+    let fitted = eadrl_par::par_map(pool, |mut model| {
+        let outcome = model.fit(fit_part);
+        (model, outcome)
+    });
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    match fitted {
+        Ok(results) => {
+            for (model, outcome) in results {
+                match outcome {
+                    Ok(()) => kept.push(model),
+                    Err(_) => dropped.push(model.name().to_string()),
+                }
+            }
+        }
+        Err(err) => {
+            // A panicking `fit` violates the Forecaster contract; keep
+            // the sweep alive by reporting the whole batch as dropped.
+            eadrl_obs::warn(
+                "par.panic",
+                &[("context", format!("{err}").as_str().into())],
+            );
+            dropped.push(format!("pool batch lost: {err}"));
+        }
+    }
+    (kept, dropped)
+}
+
+/// Rolling one-step prediction matrix `preds[t][i]` of a fitted pool
+/// over `segment`, with the preceding history given by `train` — model
+/// `i`'s forecasts computed in parallel across the pool, then merged by
+/// pool index and transposed into per-step rows.
+///
+/// The per-model rolling state (the growing history buffer) is
+/// allocated once per member up front — not re-sliced and re-grown per
+/// timestep — and the transpose pre-sizes every row, so the matrix
+/// costs exactly `m + t + 2` allocations for an `m`-model pool over `t`
+/// steps.
+pub fn prediction_matrix(
+    pool: &[Box<dyn Forecaster>],
+    train: &[f64],
+    segment: &[f64],
+) -> Vec<Vec<f64>> {
+    let refs: Vec<&dyn Forecaster> = pool.iter().map(AsRef::as_ref).collect();
+    let per_model = match eadrl_par::par_map(refs, |model| rolling_forecast(model, train, segment))
+    {
+        Ok(columns) => columns,
+        Err(err) => {
+            eadrl_obs::event(
+                "par.panic",
+                Level::Warn,
+                &[("context", format!("{err}").as_str().into())],
+            );
+            // Serial fallback keeps the forecast path alive; a panic in
+            // `predict_next` is a Forecaster-contract violation.
+            pool.iter()
+                .map(|m| rolling_forecast(m.as_ref(), train, segment))
+                .collect()
+        }
+    };
+    let mut rows = Vec::with_capacity(segment.len());
+    for t in 0..segment.len() {
+        let mut row = Vec::with_capacity(per_model.len());
+        for column in &per_model {
+            row.push(column[t]);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadrl_models::{auto_regressive, rolling_forecast, Naive, SeasonalNaive};
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 4.0 + 10.0)
+            .collect()
+    }
+
+    fn pool() -> Vec<Box<dyn Forecaster>> {
+        vec![
+            Box::new(Naive),
+            Box::new(SeasonalNaive::new(12)),
+            Box::new(auto_regressive(4, 1e-3)),
+        ]
+    }
+
+    #[test]
+    fn fit_pool_keeps_order_and_reports_drops() {
+        let s = series(120);
+        let mut p = pool();
+        p.push(Box::new(SeasonalNaive::new(100_000)));
+        let (kept, dropped) = fit_pool(p, &s);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].name(), "Naive");
+        assert_eq!(dropped, vec!["SeasonalNaive".to_string()]);
+    }
+
+    #[test]
+    fn matrix_matches_the_serial_rolling_forecast_bitwise() {
+        let s = series(150);
+        let (train, seg) = s.split_at(120);
+        let (kept, _) = fit_pool(pool(), train);
+        let rows = prediction_matrix(&kept, train, seg);
+        assert_eq!(rows.len(), seg.len());
+        for (i, model) in kept.iter().enumerate() {
+            let serial = rolling_forecast(model.as_ref(), train, seg);
+            for (t, row) in rows.iter().enumerate() {
+                assert_eq!(row[i].to_bits(), serial[t].to_bits(), "model {i} step {t}");
+            }
+        }
+    }
+}

@@ -93,6 +93,12 @@ pub fn correlated_t_test(diffs: &[f64], rho: f64, rope: f64) -> Posterior {
     }
 }
 
+/// Number of independent Monte-Carlo chains the sign test's sampling is
+/// split into. Fixed (never derived from the worker count) so the draws
+/// — each chain runs on its own [`DetRng::substream`] — are a pure
+/// function of `(seed, samples)` at every `EADRL_PAR_THREADS` setting.
+const SIGN_TEST_CHAINS: usize = 8;
+
 /// Bayesian sign test across multiple datasets.
 ///
 /// `diffs[d]` is method B's mean loss minus method A's mean loss on
@@ -101,6 +107,11 @@ pub fn correlated_t_test(diffs: &[f64], rho: f64, rope: f64) -> Posterior {
 /// Dirichlet(prior + counts) with the standard prior pseudo-count of 1 on
 /// the rope, and the returned probabilities are Monte-Carlo estimates of
 /// which region has the largest posterior mass.
+///
+/// The Monte-Carlo work is split over `SIGN_TEST_CHAINS` (8) chains run
+/// in parallel; chain `c` draws from `DetRng::seed_from_u64(seed)`'s
+/// substream `c`, so the estimate depends only on `(diffs, rope,
+/// samples, seed)` — not on the thread count.
 pub fn bayes_sign_test(diffs: &[f64], rope: f64, samples: usize, seed: u64) -> Posterior {
     let mut counts = [0.0_f64; 3]; // [left, rope, right]
     counts[1] += 1.0; // prior pseudo-count on the ROPE
@@ -113,22 +124,48 @@ pub fn bayes_sign_test(diffs: &[f64], rope: f64, samples: usize, seed: u64) -> P
             counts[1] += 1.0;
         }
     }
-    let mut rng = DetRng::seed_from_u64(seed);
     let samples = samples.max(100);
+    let parent = DetRng::seed_from_u64(seed);
+    let run_chain = |chain: usize, draws: usize| -> [usize; 3] {
+        let mut rng = parent.substream(chain as u64);
+        let mut wins = [0usize; 3];
+        for _ in 0..draws {
+            // Dirichlet draw via normalized Gamma(αᵢ, 1) variables.
+            let g: Vec<f64> = counts.iter().map(|&a| gamma_sample(a, &mut rng)).collect();
+            let total: f64 = g.iter().sum();
+            let theta: Vec<f64> = g.iter().map(|x| x / total).collect();
+            let argmax = if theta[0] >= theta[1] && theta[0] >= theta[2] {
+                0
+            } else if theta[1] >= theta[2] {
+                1
+            } else {
+                2
+            };
+            wins[argmax] += 1;
+        }
+        wins
+    };
+    // Chain c gets its deterministic share of the draw budget.
+    let base = samples / SIGN_TEST_CHAINS;
+    let extra = samples % SIGN_TEST_CHAINS;
+    let chain_draws: Vec<usize> = (0..SIGN_TEST_CHAINS)
+        .map(|c| base + usize::from(c < extra))
+        .collect();
+    let per_chain = eadrl_par::par_map_indexed(chain_draws.clone(), run_chain)
+        // A chain cannot panic; if a worker is somehow lost, redo the
+        // whole estimate serially — same substreams, same result.
+        .unwrap_or_else(|_| {
+            chain_draws
+                .iter()
+                .enumerate()
+                .map(|(c, &draws)| run_chain(c, draws))
+                .collect()
+        });
     let mut wins = [0usize; 3];
-    for _ in 0..samples {
-        // Dirichlet draw via normalized Gamma(αᵢ, 1) variables.
-        let g: Vec<f64> = counts.iter().map(|&a| gamma_sample(a, &mut rng)).collect();
-        let total: f64 = g.iter().sum();
-        let theta: Vec<f64> = g.iter().map(|x| x / total).collect();
-        let argmax = if theta[0] >= theta[1] && theta[0] >= theta[2] {
-            0
-        } else if theta[1] >= theta[2] {
-            1
-        } else {
-            2
-        };
-        wins[argmax] += 1;
+    for chain in per_chain {
+        wins[0] += chain[0];
+        wins[1] += chain[1];
+        wins[2] += chain[2];
     }
     Posterior {
         p_left: wins[0] as f64 / samples as f64,

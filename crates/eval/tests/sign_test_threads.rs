@@ -1,0 +1,25 @@
+//! The Bayes sign test's Monte-Carlo estimate must depend only on
+//! `(diffs, rope, samples, seed)` — never on how many `eadrl-par`
+//! workers ran the chains. One `#[test]` only: the thread count is an
+//! environment variable, and `set_var` must not race other assertions
+//! in the same binary.
+
+use eadrl_eval::bayes::bayes_sign_test;
+
+#[test]
+fn posterior_is_identical_at_1_2_and_8_threads() {
+    let diffs = [0.5, -0.2, 0.7, 0.9, -0.1, 0.3, 0.0, -0.4, 0.6, 0.2];
+    let mut posteriors = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var(eadrl_par::THREADS_ENV, threads);
+        posteriors.push((threads, bayes_sign_test(&diffs, 0.05, 3000, 11)));
+    }
+    std::env::remove_var(eadrl_par::THREADS_ENV);
+    let (_, reference) = posteriors[0];
+    for (threads, p) in &posteriors[1..] {
+        assert_eq!(*p, reference, "posterior diverged at {threads} threads");
+    }
+    // Sanity: the estimate is a proper distribution over the three wins.
+    let total = reference.p_left + reference.p_rope + reference.p_right;
+    assert!((total - 1.0).abs() < 1e-12, "{reference:?}");
+}

@@ -147,4 +147,5 @@ pub const RESULT_CRATES: &[&str] = &[
     "crates/core/src/",
     "crates/eval/src/",
     "crates/timeseries/src/",
+    "crates/par/src/",
 ];

@@ -45,7 +45,13 @@ impl std::error::Error for ModelError {}
 /// fall back to the last observed value (or the training mean) when they
 /// cannot produce a proper forecast, because a pool member that panics
 /// would take the whole ensemble down.
-pub trait Forecaster: Send {
+///
+/// `Send + Sync` because the pool's hot paths (fitting, the rolling
+/// prediction matrix) fan out across `eadrl-par` workers: fitting moves
+/// each boxed member into a worker, prediction shares `&dyn Forecaster`
+/// across threads. `predict_next(&self)` therefore must not use interior
+/// mutability — a fitted model is immutable while predicting.
+pub trait Forecaster: Send + Sync {
     /// Human-readable unique name, e.g. `"ARIMA(2,1,1)"`.
     fn name(&self) -> &str;
 
@@ -77,7 +83,10 @@ pub fn fallback_forecast(history: &[f64]) -> f64 {
 /// true value is revealed to the model after each prediction (the paper's
 /// online evaluation protocol for base models).
 pub fn rolling_forecast(model: &dyn Forecaster, train: &[f64], test: &[f64]) -> Vec<f64> {
-    let mut history = train.to_vec();
+    // Size the history for the whole walk up front: revealing one
+    // actual per step must not re-grow (and re-copy) the buffer.
+    let mut history = Vec::with_capacity(train.len() + test.len());
+    history.extend_from_slice(train);
     let mut out = Vec::with_capacity(test.len());
     for &actual in test {
         out.push(model.predict_next(&history));

@@ -12,7 +12,7 @@ use eadrl_timeseries::embedding::embed;
 use eadrl_timeseries::transform::{Scaler, ZScoreScaler};
 
 /// A tabular regressor mapping fixed-length feature vectors to a scalar.
-pub trait TabularModel: Send + Clone {
+pub trait TabularModel: Send + Sync + Clone {
     /// Fits on rows of features with aligned targets.
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<(), ModelError>;
 

@@ -1,0 +1,115 @@
+//! Fault injection: a task that panics mid-batch must surface a typed
+//! [`ParError`] with the originating index, leak nothing (every item
+//! dropped exactly once, every worker joined), and leave the pool fully
+//! usable for the next call.
+
+use eadrl_par::{par_map_with, ParError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Drop-counter guard: each instance bumps the shared counter exactly
+/// once when dropped, wherever that drop happens (worker unwind,
+/// abandoned chunk, merged result).
+struct Guard {
+    idx: usize,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn guards(n: usize, drops: &Arc<AtomicUsize>) -> Vec<Guard> {
+    (0..n)
+        .map(|idx| Guard {
+            idx,
+            drops: Arc::clone(drops),
+        })
+        .collect()
+}
+
+#[test]
+fn mid_batch_panic_surfaces_the_originating_index_and_leaks_nothing() {
+    for threads in [1, 2, 4, 8] {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let n = 23;
+        let result = par_map_with(threads, guards(n, &drops), |g| {
+            assert!(g.idx != 13, "injected failure at 13");
+            g.idx
+        });
+        match result {
+            Err(ParError::Panic { index, message }) => {
+                assert_eq!(index, 13, "threads={threads}");
+                assert!(message.contains("injected failure at 13"), "{message}");
+            }
+            other => panic!("expected ParError::Panic, got {other:?} (threads={threads})"),
+        }
+        // Every guard was dropped exactly once: completed results,
+        // the panicking item (dropped by the unwind), the abandoned
+        // remainder of the failing chunk, and the other workers' items.
+        // Scoped threads guarantee all workers joined before par_map
+        // returned, so no drop can still be pending on a leaked thread.
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            n,
+            "leaked items at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn pool_stays_usable_and_deterministic_after_faults() {
+    // Alternate failing and clean batches; the clean batches must be
+    // bitwise identical to the serial map every time.
+    let expect: Vec<usize> = (0..40).map(|i| i * 7).collect();
+    for round in 0..3 {
+        let failing = par_map_with(4, (0..40usize).collect(), |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+        assert!(
+            matches!(failing, Err(ParError::Panic { index: 5, .. })),
+            "round {round}"
+        );
+        let clean = par_map_with(4, (0..40usize).collect(), |i| i * 7);
+        assert_eq!(clean.as_deref(), Ok(expect.as_slice()), "round {round}");
+    }
+}
+
+#[test]
+fn multiple_panicking_items_report_the_smallest_index() {
+    // Panics at 3, 9, and 17 land in different chunks at 4 threads; the
+    // reported index must be 3 for every thread count (deterministic
+    // error, not first-to-fail).
+    for threads in [1, 2, 4, 8] {
+        let err = par_map_with(threads, (0..20usize).collect(), |i| {
+            assert!(!matches!(i, 3 | 9 | 17), "fail {i}");
+            i
+        })
+        .expect_err("must fail");
+        assert!(
+            matches!(err, ParError::Panic { index: 3, .. }),
+            "threads={threads}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn completed_prefix_is_dropped_not_returned_on_failure() {
+    // Even when most items succeed, a failed batch returns only the
+    // error — and still drops every produced result.
+    let drops = Arc::new(AtomicUsize::new(0));
+    let result = par_map_with(2, guards(10, &drops), |g| {
+        assert!(g.idx != 9, "late failure");
+        Guard {
+            idx: g.idx + 100,
+            drops: Arc::clone(&g.drops),
+        }
+    });
+    assert!(matches!(result, Err(ParError::Panic { index: 9, .. })));
+    drop(result);
+    // 10 inputs + 9 produced outputs (indices 0..9 succeeded) = 19.
+    assert_eq!(drops.load(Ordering::SeqCst), 19);
+}

@@ -21,6 +21,8 @@
 //! * [`models`] — the 16 base-forecaster families and the 43-model pool,
 //! * [`rl`] — replay buffers (uniform & diversity sampling), DDPG,
 //! * [`rng`] — the repo-owned deterministic RNG behind every seed,
+//! * [`par`] — the deterministic std-only thread pool behind every
+//!   parallel hot path (`EADRL_PAR_THREADS`),
 //! * [`core`] — EA-DRL itself plus every baseline combiner,
 //! * [`eval`] — Bayesian correlated t-test, Bayes sign test, rank tables,
 //! * [`obs`] — zero-dependency telemetry (spans, metrics, JSONL events).
@@ -56,6 +58,7 @@ pub use eadrl_linalg as linalg;
 pub use eadrl_models as models;
 pub use eadrl_nn as nn;
 pub use eadrl_obs as obs;
+pub use eadrl_par as par;
 pub use eadrl_rl as rl;
 pub use eadrl_rng as rng;
 pub use eadrl_timeseries as timeseries;

@@ -7,7 +7,7 @@ use crate::persist::PolicySnapshot;
 use eadrl_linalg::vector::dot;
 use eadrl_models::{Forecaster, ModelError};
 use eadrl_obs::Level;
-use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy};
+use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy, UpdatePath};
 
 /// Shannon entropy of a weight vector (natural log) — 0 for a one-hot
 /// weighting, `ln m` for the uniform one. A telemetry-facing summary of
@@ -120,6 +120,7 @@ impl Default for EaDrlConfig {
                 squash: ActionSquash::Softmax,
                 noise_sigma: 0.3,
                 actor_logit_reg: 1e-3,
+                update_path: UpdatePath::Batched,
                 seed: 0,
             },
         }

@@ -1,0 +1,86 @@
+//! Differential proof that the batched GEMM training path never changes
+//! results: the full EA-DRL training + online-forecast pipeline is run
+//! with [`UpdatePath::Batched`] and [`UpdatePath::PerSample`], each at
+//! `EADRL_PAR_THREADS` ∈ {1, 4}, and all four runs must be bitwise
+//! identical — both the online predictions and the actor's
+//! `eadrl.weights` telemetry payloads. The per-sample serial run is the
+//! reference; any accumulation-order, workspace-reuse, or blocking bug
+//! in the batched kernels diverges here.
+//!
+//! Everything lives in ONE `#[test]` because the thread count comes
+//! from an environment variable: tests in one binary may run
+//! concurrently, and `set_var` must not race another assertion.
+
+use eadrl_core::{EaDrl, EaDrlConfig};
+use eadrl_datasets::{generate, DatasetId};
+use eadrl_models::quick_pool;
+use eadrl_obs::{Level, RingSink, Value};
+use eadrl_rl::UpdatePath;
+use std::sync::Arc;
+
+/// One pipeline run: EA-DRL fit + 15 online predictions, capturing the
+/// prediction bits and the actor's `eadrl.weights` payload bits.
+fn run_pipeline(seed: u64, path: UpdatePath) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let sink = Arc::new(RingSink::new(4096));
+    eadrl_obs::set_sink(sink.clone());
+    eadrl_obs::set_level(Some(Level::Debug));
+
+    let series = generate(DatasetId::TaxiDemand2, 360, seed);
+    let (train, test) = series.split(0.75);
+    let mut config = EaDrlConfig::default();
+    config.omega = 8;
+    config.episodes = 6;
+    config.restarts = 1;
+    config.ddpg.seed = seed;
+    config.ddpg.update_path = path;
+    let mut model = EaDrl::new(quick_pool(5, 48, seed), config);
+    model.fit(train).expect("fit");
+
+    let mut history = train.to_vec();
+    let mut pred_bits = Vec::new();
+    for &actual in test.iter().take(15) {
+        pred_bits.push(model.predict_next(&history).to_bits());
+        history.push(actual);
+    }
+
+    let weight_bits: Vec<Vec<u64>> = sink
+        .events_named("eadrl.weights")
+        .iter()
+        .filter_map(|e| {
+            e.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("weights", Value::F64s(w)) => Some(w.iter().map(|x| x.to_bits()).collect()),
+                _ => None,
+            })
+        })
+        .collect();
+    assert!(
+        !weight_bits.is_empty(),
+        "expected eadrl.weights events at debug level"
+    );
+    (pred_bits, weight_bits)
+}
+
+#[test]
+fn batched_and_per_sample_pipelines_are_bitwise_identical_at_1_and_4_threads() {
+    let mut runs = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var(eadrl_par::THREADS_ENV, threads);
+        for path in [UpdatePath::PerSample, UpdatePath::Batched] {
+            runs.push((threads, path, run_pipeline(11, path)));
+        }
+    }
+    std::env::remove_var(eadrl_par::THREADS_ENV);
+
+    let (_, _, (ref_preds, ref_weights)) = &runs[0];
+    for (threads, path, (preds, weights)) in &runs[1..] {
+        assert_eq!(
+            preds, ref_preds,
+            "predictions diverged from per-sample serial at {threads} threads, {path:?} path"
+        );
+        assert_eq!(
+            weights, ref_weights,
+            "eadrl.weights telemetry diverged from per-sample serial at {threads} threads, \
+             {path:?} path"
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //! they need:
 //!
 //! * [`Matrix`] — a row-major `f64` matrix with the usual arithmetic,
+//! * [`kernels`] — cache-blocked GEMM/transpose kernels plus the
+//!   [`Workspace`] scratch arena behind the allocation-free batched
+//!   training path,
 //! * [`decompose`] — LU (with partial pivoting), Cholesky and Householder-QR
 //!   factorizations with solvers,
 //! * [`eigen`] — cyclic-Jacobi eigendecomposition of symmetric matrices,
@@ -22,6 +25,7 @@
 
 pub mod decompose;
 pub mod eigen;
+pub mod kernels;
 pub mod lstsq;
 pub mod matrix;
 pub mod pca;
@@ -30,6 +34,7 @@ pub mod vector;
 
 pub use decompose::{Cholesky, Lu, Qr};
 pub use eigen::SymmetricEigen;
+pub use kernels::Workspace;
 pub use lstsq::{lstsq, ridge};
 pub use matrix::Matrix;
 pub use pca::Pca;

@@ -16,7 +16,7 @@ use crate::{LinalgError, Result};
 /// assert_eq!(v, vec![3.0, 7.0]);
 /// # Ok::<(), eadrl_linalg::LinalgError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -149,22 +149,52 @@ impl Matrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose as a fresh matrix.
+    ///
+    /// Allocates; training-loop hot paths use
+    /// [`transpose_into`](Self::transpose_into) with a reused buffer
+    /// instead.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t.data[j * self.rows + i] = self.data[i * self.cols + j];
-            }
-        }
+        crate::kernels::transpose(self.rows, self.cols, &self.data, &mut t.data);
         t
+    }
+
+    /// Writes the transpose into `out`, reshaping it in place.
+    ///
+    /// `out`'s existing allocation is reused whenever its capacity
+    /// suffices, so repeated calls with the same shapes are
+    /// allocation-free.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize(self.cols, self.rows);
+        crate::kernels::transpose(self.rows, self.cols, &self.data, &mut out.data);
+    }
+
+    /// Reshapes `self` to `rows x cols` in place, reusing the backing
+    /// allocation when its capacity suffices. The contents afterwards are
+    /// unspecified (whatever the producing kernel writes) — this is a
+    /// buffer-management primitive for the `_into` methods, not a view
+    /// operation.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix-matrix product `self * other`.
     ///
-    /// Uses the classic i-k-j loop order so the innermost loop walks both
-    /// operands contiguously.
+    /// Delegates to the cache-blocked [`kernels::gemm`](crate::kernels::gemm),
+    /// whose per-element accumulation order matches the classic i-k-j loop
+    /// bit for bit.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-matrix product written into `out` (reshaped in place, so
+    /// repeated calls with the same shapes are allocation-free).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 context: format!(
@@ -173,40 +203,39 @@ impl Matrix {
                 ),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                // eadrl-lint: allow(no-float-eq): sparsity fast path — skipping exact zeros is bit-identical to multiplying by them
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(out)
+        out.resize(self.rows, other.cols);
+        crate::kernels::gemm(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
+    ///
+    /// Each output element is [`vector::dot`](crate::vector::dot) of a row
+    /// with `v` — the shared dot kernel, so the accumulation order is the
+    /// canonical ascending-index sum.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product written into `out` (resized in place).
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if self.cols != v.len() {
             return Err(LinalgError::ShapeMismatch {
                 context: format!("matvec: {}x{} * {}", self.rows, self.cols, v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
-            .collect())
+        out.resize(self.rows, 0.0);
+        crate::kernels::matvec(self.rows, self.cols, &self.data, v, out);
+        Ok(())
     }
 
     /// Transposed matrix-vector product `selfᵀ * v`.
@@ -262,12 +291,18 @@ impl Matrix {
     }
 
     /// Returns `self` scaled by `s`.
+    ///
+    /// Allocates; prefer [`scale_in_place`](Self::scale_in_place) (or
+    /// `*= s`) when the original is no longer needed.
     pub fn scale(&self, s: f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|x| x * s).collect(),
-        }
+        let mut out = self.clone();
+        out.scale_in_place(s);
+        out
+    }
+
+    /// Scales every entry by `s` in place, allocation-free.
+    pub fn scale_in_place(&mut self, s: f64) {
+        crate::vector::scale_in_place(&mut self.data, s);
     }
 
     /// Adds `s` to every diagonal entry in place (useful for ridge terms and
@@ -328,6 +363,14 @@ impl Matrix {
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         })
+    }
+}
+
+impl std::ops::MulAssign<f64> for Matrix {
+    /// In-place scalar scaling: `m *= s`.
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        self.scale_in_place(s);
     }
 }
 
@@ -435,6 +478,46 @@ mod tests {
         let a = m(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
         let s = a.submatrix(1..3, 0..2);
         assert_eq!(s, m(2, 2, &[4.0, 5.0, 7.0, 8.0]));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones_and_reuse_capacity() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        let ptr = out.data().as_ptr();
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(
+            out.data().as_ptr(),
+            ptr,
+            "repeat matmul_into must not reallocate"
+        );
+
+        let mut t = Matrix::default();
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+
+        let v = [1.0, 0.5, -1.0];
+        let mut mv = Vec::new();
+        a.matvec_into(&v, &mut mv).unwrap();
+        assert_eq!(mv, a.matvec(&v).unwrap());
+
+        assert!(a.matmul_into(&a, &mut out).is_err());
+        assert!(a.matvec_into(&[1.0], &mut mv).is_err());
+    }
+
+    #[test]
+    fn scale_in_place_and_mul_assign_match_scale() {
+        let a = m(2, 2, &[1.0, -2.0, 3.0, 4.0]);
+        let mut b = a.clone();
+        b.scale_in_place(2.5);
+        assert_eq!(b, a.scale(2.5));
+        let mut c = a.clone();
+        c *= 2.5;
+        assert_eq!(c, b);
     }
 
     #[test]

@@ -47,7 +47,8 @@ impl Pca {
                 *v -= m;
             }
         }
-        let cov = centered.gram().scale(1.0 / (n as f64 - 1.0));
+        let mut cov = centered.gram();
+        cov.scale_in_place(1.0 / (n as f64 - 1.0));
         let eig = SymmetricEigen::new(&cov)?;
         let components = eig.eigenvectors.submatrix(0..d, 0..k);
         let explained_variance = eig.eigenvalues[..k].to_vec();

@@ -108,7 +108,10 @@ impl PlsModel {
             });
         }
 
-        // β = W (PᵀW)⁻¹ q, computed with the small k x k system.
+        // β = W (PᵀW)⁻¹ q, computed with the small k x k system. The
+        // allocating `transpose` is fine here: this runs once per fit on a
+        // k x d matrix, not in a per-update hot loop (those go through
+        // `transpose_into` with a reused buffer).
         let w_mat = Matrix::from_rows(&weights)?.transpose(); // d x k
         let p_mat = Matrix::from_rows(&loadings)?; // k x d
         let ptw = p_mat.matmul(&w_mat)?; // k x k

@@ -123,4 +123,64 @@ proptest! {
     fn transpose_is_an_involution(a in square(4)) {
         prop_assert_eq!(a.transpose().transpose(), a);
     }
+
+    /// The cache-blocked GEMM must be *bitwise* equal to the unblocked
+    /// i-k-j reference at shapes straddling the tile boundaries — this is
+    /// the determinism contract the batched training path rests on.
+    #[test]
+    fn blocked_gemm_is_bitwise_identical_to_naive(
+        m in 1usize..80,
+        k in 1usize..80,
+        n in 1usize..20,
+        seed in 0u64..u64::MAX,
+    ) {
+        let fill = |len: usize, salt: u64| -> Vec<f64> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u64)
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(seed ^ salt);
+                    if h % 5 == 0 { 0.0 } else { (h >> 32) as f64 / 1e8 - 21.0 }
+                })
+                .collect()
+        };
+        let a = Matrix::from_vec(m, k, fill(m * k, 1)).unwrap();
+        let b = Matrix::from_vec(k, n, fill(k * n, 2)).unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        let mut naive = Matrix::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[(i, kk)];
+                for j in 0..n {
+                    naive[(i, j)] += av * b[(kk, j)];
+                }
+            }
+        }
+        let lb: Vec<u64> = blocked.data().iter().map(|x| x.to_bits()).collect();
+        let ln: Vec<u64> = naive.data().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(lb, ln);
+    }
+
+    /// `matvec` (now routed through `vector::dot`) must agree bitwise with
+    /// the corresponding GEMM column, and `transpose_into`/`matmul_into`
+    /// must agree with their allocating counterparts.
+    #[test]
+    fn into_kernels_match_allocating_kernels_bitwise(a in square(5), b in square(5)) {
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(&out, &a.matmul(&b).unwrap());
+
+        let mut t = Matrix::default();
+        a.transpose_into(&mut t);
+        prop_assert_eq!(&t, &a.transpose());
+
+        let v = b.row(0);
+        let mut mv = Vec::new();
+        a.matvec_into(v, &mut mv).unwrap();
+        let direct = a.matvec(v).unwrap();
+        prop_assert_eq!(
+            mv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
 }

@@ -5,6 +5,17 @@
 //! initialization. Windows arrive already z-scored via
 //! [`crate::tabular::Windowed`], so no internal scaling is needed.
 //!
+//! The MLP family trains through the batched GEMM path
+//! ([`Mlp::forward_batch`]/[`Mlp::backward_batch`]): each shuffled chunk is
+//! assembled into a row matrix and runs one forward/backward per network
+//! instead of one per sample — bitwise identical to the per-sample loop
+//! (the batch kernels preserve per-element accumulation order; see
+//! `crates/nn/tests/props.rs`). The recurrent families (LSTM, Bi-LSTM,
+//! CNN-LSTM, Conv-LSTM, stacked LSTM) keep per-sample fits: their
+//! time-step recurrence carries a sequential data dependency that a
+//! row-batched GEMM cannot express without restructuring the unrolled
+//! graph, which is out of scope here.
+//!
 //! Faithfulness note (documented in `DESIGN.md`): Conv-LSTM is implemented
 //! as an LSTM over overlapping *patches* of the window — the input-to-state
 //! transition sees a local receptive field per step, which is the
@@ -14,6 +25,7 @@
 
 use crate::forecaster::ModelError;
 use crate::tabular::{TabularModel, Windowed};
+use eadrl_linalg::Matrix;
 use eadrl_nn::{
     mse_loss_grad, Activation, Adam, BiLstm, Conv1d, Dense, Lstm, Mlp, Network, Optimizer,
 };
@@ -91,15 +103,29 @@ impl TabularModel for MlpRegressor {
         sizes.push(1);
         let mut net = Mlp::new(&mut rng, &sizes, Activation::Relu, Activation::Identity);
         let mut opt = Adam::new(self.lr);
+        // Chunk staging matrices, reused across batches so the steady
+        // state allocates nothing beyond `mse_loss_grad`'s tiny per-row
+        // vector.
+        let mut xb = Matrix::default();
+        let mut gb = Matrix::default();
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
                 net.zero_grad();
-                for &i in chunk {
-                    let y = net.forward(&inputs[i]);
-                    let g = mse_loss_grad(&y, &[targets[i]]);
-                    net.backward(&g);
+                let n = chunk.len();
+                xb.resize(n, sizes[0]);
+                for (r, &i) in chunk.iter().enumerate() {
+                    xb.row_mut(r).copy_from_slice(&inputs[i]);
                 }
+                gb.resize(n, 1);
+                {
+                    let out = net.forward_batch(&xb);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        let g = mse_loss_grad(out.row(r), &[targets[i]]);
+                        gb.row_mut(r).copy_from_slice(&g);
+                    }
+                }
+                net.backward_batch_weights_only(&gb);
                 net.clip_grad_norm(5.0);
                 opt.step(&mut net);
             }

@@ -3,14 +3,45 @@
 use crate::activation::Activation;
 use crate::init;
 use crate::network::Network;
+use eadrl_linalg::kernels;
+use eadrl_linalg::Matrix;
 use eadrl_rng::DetRng;
+
+/// Persistent per-layer scratch for the batched compute path.
+///
+/// Every buffer is reshaped in place on use, so after the first call at a
+/// given batch size the layer performs **zero heap allocations** per
+/// forward/backward (asserted by the counting-allocator test in
+/// `crates/nn/tests/alloc.rs`). The per-sample API is the batch-of-1 case
+/// over the same buffers.
+#[derive(Debug, Clone, Default)]
+struct BatchCache {
+    /// Cached input rows (`batch x in_dim`) for the backward pass.
+    input: Matrix,
+    /// Cached post-activation output rows (`batch x out_dim`).
+    output: Matrix,
+    /// `Wᵀ` (`in_dim x out_dim`), refreshed each forward so the GEMM can
+    /// stream `X · Wᵀ` with unit stride on both operands.
+    wt: Vec<f64>,
+    /// Pre-activation gradient `dZ` (`batch x out_dim`).
+    dz: Matrix,
+    /// Input gradient rows (`batch x in_dim`) returned by backward.
+    grad_input: Matrix,
+}
 
 /// A dense layer `y = act(W x + b)`.
 ///
 /// `W` is stored row-major with shape `(out, in)`. The layer caches its last
-/// input and output so [`Dense::backward`] can run without re-computing the
-/// forward pass; gradients accumulate into `grad_w`/`grad_b` until
-/// [`Network::zero_grad`].
+/// input and output batch so [`Dense::backward`] / [`Dense::backward_batch`]
+/// can run without re-computing the forward pass; gradients accumulate into
+/// `grad_w`/`grad_b` until [`Network::zero_grad`].
+///
+/// The batched entry points ([`forward_batch`](Self::forward_batch),
+/// [`backward_batch`](Self::backward_batch)) process a `Matrix` whose rows
+/// are samples through one GEMM per pass; the per-sample methods are the
+/// batch-of-1 case over the same kernels and scratch buffers, so both paths
+/// are bitwise-identical by construction (see `eadrl_linalg::kernels` for
+/// the accumulation-order argument).
 #[derive(Debug, Clone)]
 pub struct Dense {
     in_dim: usize,
@@ -20,8 +51,7 @@ pub struct Dense {
     activation: Activation,
     grad_w: Vec<f64>,
     grad_b: Vec<f64>,
-    cache_input: Vec<f64>,
-    cache_output: Vec<f64>,
+    batch: BatchCache,
 }
 
 impl Dense {
@@ -41,8 +71,7 @@ impl Dense {
             activation,
             grad_w: vec![0.0; n],
             grad_b: vec![0.0; out_dim],
-            cache_input: Vec::new(),
-            cache_output: Vec::new(),
+            batch: BatchCache::default(),
         }
     }
 
@@ -64,8 +93,7 @@ impl Dense {
             activation,
             grad_w: vec![0.0; n],
             grad_b: vec![0.0; out_dim],
-            cache_input: Vec::new(),
-            cache_output: Vec::new(),
+            batch: BatchCache::default(),
         }
     }
 
@@ -85,20 +113,57 @@ impl Dense {
     }
 
     /// Forward pass; caches input and output for [`Dense::backward`].
+    ///
+    /// This is the batch-of-1 case of [`forward_batch`](Self::forward_batch):
+    /// the input is staged as a one-row matrix and runs through the same
+    /// kernels and scratch buffers.
     pub fn forward(&mut self, input: &[f64]) -> Vec<f64> {
         debug_assert_eq!(input.len(), self.in_dim, "Dense forward: input dim");
-        let mut out = self.b.clone();
-        for (o, wrow) in out.iter_mut().zip(self.w.chunks_exact(self.in_dim)) {
-            *o += wrow
-                .iter()
-                .zip(input.iter())
-                .map(|(w, x)| w * x)
-                .sum::<f64>();
+        self.batch.input.resize(1, self.in_dim);
+        self.batch.input.data_mut().copy_from_slice(input);
+        self.forward_batch_cached();
+        self.batch.output.row(0).to_vec()
+    }
+
+    /// Batched forward pass over `input` rows (`batch x in_dim`); caches
+    /// the batch for [`backward_batch`](Self::backward_batch) and returns
+    /// the output rows (`batch x out_dim`).
+    ///
+    /// Allocation-free at steady state: all scratch lives in reused,
+    /// reshaped-in-place buffers.
+    pub fn forward_batch(&mut self, input: &Matrix) -> &Matrix {
+        debug_assert_eq!(input.cols(), self.in_dim, "Dense forward_batch: input dim");
+        self.batch.input.resize(input.rows(), self.in_dim);
+        self.batch.input.data_mut().copy_from_slice(input.data());
+        self.forward_batch_cached();
+        &self.batch.output
+    }
+
+    /// Runs the forward pass on the already-staged `batch.input`.
+    ///
+    /// `out = act(X · Wᵀ + b)`: per output element the GEMM accumulates
+    /// products in ascending input-index order from zero and the bias is
+    /// added afterwards — bitwise the same value as the per-sample
+    /// `b[j] + dot(w_row, x)` (IEEE addition is commutative).
+    fn forward_batch_cached(&mut self) {
+        let n = self.batch.input.rows();
+        self.batch.wt.resize(self.in_dim * self.out_dim, 0.0);
+        kernels::transpose(self.out_dim, self.in_dim, &self.w, &mut self.batch.wt);
+        self.batch.output.resize(n, self.out_dim);
+        kernels::gemm(
+            n,
+            self.in_dim,
+            self.out_dim,
+            self.batch.input.data(),
+            &self.batch.wt,
+            self.batch.output.data_mut(),
+        );
+        for r in 0..n {
+            for (o, &bj) in self.batch.output.row_mut(r).iter_mut().zip(self.b.iter()) {
+                *o += bj;
+            }
         }
-        self.activation.apply_in_place(&mut out);
-        self.cache_input = input.to_vec();
-        self.cache_output = out.clone();
-        out
+        self.activation.apply_in_place(self.batch.output.data_mut());
     }
 
     /// Forward pass without caching (inference-only; cheaper and leaves the
@@ -107,11 +172,7 @@ impl Dense {
         debug_assert_eq!(input.len(), self.in_dim, "Dense forward: input dim");
         let mut out = self.b.clone();
         for (o, wrow) in out.iter_mut().zip(self.w.chunks_exact(self.in_dim)) {
-            *o += wrow
-                .iter()
-                .zip(input.iter())
-                .map(|(w, x)| w * x)
-                .sum::<f64>();
+            *o += eadrl_linalg::vector::dot(wrow, input);
         }
         self.activation.apply_in_place(&mut out);
         out
@@ -120,33 +181,169 @@ impl Dense {
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the input.
     ///
+    /// The batch-of-1 case of [`backward_batch`](Self::backward_batch).
+    ///
     /// # Panics
     /// Debug-panics when called before [`Dense::forward`] or with a
     /// mismatched gradient length.
     pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
         debug_assert_eq!(grad_output.len(), self.out_dim, "Dense backward: dim");
         debug_assert_eq!(
-            self.cache_input.len(),
-            self.in_dim,
+            self.batch.input.shape(),
+            (1, self.in_dim),
             "Dense backward called before forward"
         );
-        let mut grad_input = vec![0.0; self.in_dim];
-        for (j, (&gy, &y)) in grad_output.iter().zip(self.cache_output.iter()).enumerate() {
-            // Chain through the activation.
-            let dz = gy * self.activation.derivative_from_output(y);
-            // eadrl-lint: allow(no-float-eq): activation subgradient — exact zero means no gradient flows, skip is lossless
-            if dz == 0.0 {
-                continue;
-            }
-            self.grad_b[j] += dz;
-            let wrow = &self.w[j * self.in_dim..(j + 1) * self.in_dim];
-            let grow = &mut self.grad_w[j * self.in_dim..(j + 1) * self.in_dim];
-            for i in 0..self.in_dim {
-                grow[i] += dz * self.cache_input[i];
-                grad_input[i] += dz * wrow[i];
+        self.batch.dz.resize(1, self.out_dim);
+        self.batch.dz.data_mut().copy_from_slice(grad_output);
+        self.backward_batch_cached();
+        self.batch.grad_input.row(0).to_vec()
+    }
+
+    /// Batched backward pass: `grad_output` rows (`batch x out_dim`) must
+    /// match the batch of the preceding [`forward_batch`](Self::forward_batch)
+    /// call. Accumulates `grad_w`/`grad_b` over the whole batch in sample
+    /// order and returns the input-gradient rows (`batch x in_dim`).
+    ///
+    /// # Panics
+    /// Debug-panics when called before a forward pass or with a
+    /// mismatched gradient shape.
+    pub fn backward_batch(&mut self, grad_output: &Matrix) -> &Matrix {
+        debug_assert_eq!(
+            grad_output.shape(),
+            (self.batch.input.rows(), self.out_dim),
+            "Dense backward_batch called with a shape not matching the cached forward batch"
+        );
+        self.batch.dz.resize(grad_output.rows(), self.out_dim);
+        self.batch.dz.data_mut().copy_from_slice(grad_output.data());
+        self.backward_batch_cached();
+        &self.batch.grad_input
+    }
+
+    /// Batched backward pass that accumulates `grad_w`/`grad_b` but skips
+    /// the input-gradient GEMM. Only valid for a network's *first* layer,
+    /// where nothing consumes the input gradient (training loops discard
+    /// it); parameter gradients are bitwise identical to
+    /// [`Dense::backward_batch`].
+    ///
+    /// # Panics
+    /// Debug-panics when called before a forward pass or with a
+    /// mismatched gradient shape.
+    pub fn backward_batch_weights_only(&mut self, grad_output: &Matrix) {
+        debug_assert_eq!(
+            grad_output.shape(),
+            (self.batch.input.rows(), self.out_dim),
+            "Dense backward_batch_weights_only called with a shape not matching the cached forward batch"
+        );
+        self.batch.dz.resize(grad_output.rows(), self.out_dim);
+        self.batch.dz.data_mut().copy_from_slice(grad_output.data());
+        let n = self.batch.dz.rows();
+        self.chain_dz_through_activation();
+        for s in 0..n {
+            for (gb, &dz) in self.grad_b.iter_mut().zip(self.batch.dz.row(s).iter()) {
+                *gb += dz;
             }
         }
-        grad_input
+        kernels::gemm_tn_acc(
+            n,
+            self.out_dim,
+            self.in_dim,
+            self.batch.dz.data(),
+            self.batch.input.data(),
+            &mut self.grad_w,
+        );
+    }
+
+    /// Batched backward pass computing only the input gradients, leaving
+    /// `grad_w`/`grad_b` untouched. For callers that differentiate
+    /// *through* a network without training it (the DDPG actor update
+    /// backpropagates through the critic purely to reach the action
+    /// inputs), this skips the weight-gradient GEMM and bias accumulation
+    /// entirely. The returned input gradients are bitwise identical to
+    /// [`Dense::backward_batch`].
+    ///
+    /// # Panics
+    /// Debug-panics when called before a forward pass or with a
+    /// mismatched gradient shape.
+    pub fn backward_batch_input_only(&mut self, grad_output: &Matrix) -> &Matrix {
+        debug_assert_eq!(
+            grad_output.shape(),
+            (self.batch.input.rows(), self.out_dim),
+            "Dense backward_batch_input_only called with a shape not matching the cached forward batch"
+        );
+        self.batch.dz.resize(grad_output.rows(), self.out_dim);
+        self.batch.dz.data_mut().copy_from_slice(grad_output.data());
+        self.chain_dz_through_activation();
+        self.compute_grad_input();
+        &self.batch.grad_input
+    }
+
+    /// Runs the backward pass on the already-staged `batch.dz`.
+    ///
+    /// Three passes, each accumulating per element in the exact order the
+    /// per-sample loop would (samples ascending, then output index, then
+    /// input index): `dZ = dY ⊙ act'(Y)`, `grad_b[j] += Σ_s dZ[s,j]`,
+    /// `grad_W += dZᵀ · X` (via [`kernels::gemm_tn_acc`]), and
+    /// `grad_X = dZ · W` (via [`kernels::gemm`]).
+    fn backward_batch_cached(&mut self) {
+        let n = self.batch.dz.rows();
+        self.chain_dz_through_activation();
+        // Bias gradient: samples outer, outputs inner — per-sample order.
+        // No zero-skip here: adding an exact zero is bit-identical (the
+        // accumulator never holds -0.0 after zero_grad), and the
+        // branch-free loop auto-vectorizes.
+        for s in 0..n {
+            for (gb, &dz) in self.grad_b.iter_mut().zip(self.batch.dz.row(s).iter()) {
+                *gb += dz;
+            }
+        }
+        kernels::gemm_tn_acc(
+            n,
+            self.out_dim,
+            self.in_dim,
+            self.batch.dz.data(),
+            self.batch.input.data(),
+            &mut self.grad_w,
+        );
+        self.compute_grad_input();
+    }
+
+    /// `dZ = dY ⊙ act'(Y)` on the staged `batch.dz` (the enum is hoisted
+    /// so the match is loop-invariant and the loop can vectorize).
+    fn chain_dz_through_activation(&mut self) {
+        let activation = self.activation;
+        for (d, &y) in self
+            .batch
+            .dz
+            .data_mut()
+            .iter_mut()
+            .zip(self.batch.output.data().iter())
+        {
+            *d *= activation.derivative_from_output(y);
+        }
+    }
+
+    /// `grad_X = dZ · W` (via [`kernels::gemm`]) into the persistent cache.
+    fn compute_grad_input(&mut self) {
+        let n = self.batch.dz.rows();
+        self.batch.grad_input.resize(n, self.in_dim);
+        kernels::gemm(
+            n,
+            self.out_dim,
+            self.in_dim,
+            self.batch.dz.data(),
+            &self.w,
+            self.batch.grad_input.data_mut(),
+        );
+    }
+
+    /// Output rows of the last `forward`/`forward_batch` call.
+    pub fn batch_output(&self) -> &Matrix {
+        &self.batch.output
+    }
+
+    /// Input-gradient rows of the last `backward`/`backward_batch` call.
+    pub fn batch_grad_input(&self) -> &Matrix {
+        &self.batch.grad_input
     }
 }
 
@@ -154,6 +351,16 @@ impl Network for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
         f(&mut self.w, &mut self.grad_w);
         f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+impl crate::network::BatchNetwork for Dense {
+    fn forward_batch(&mut self, input: &Matrix) -> &Matrix {
+        Dense::forward_batch(self, input)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Matrix) -> &Matrix {
+        Dense::backward_batch(self, grad_output)
     }
 }
 
@@ -183,6 +390,42 @@ mod tests {
         let a = d.forward(&x);
         let b = d.forward_inference(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_batch_rows_match_per_sample_forward() {
+        let mut d = layer(Activation::Relu);
+        let xs = [[0.3, -0.7, 1.1], [0.0, 2.0, -0.5], [1.0, 1.0, 1.0]];
+        let per_sample: Vec<Vec<f64>> = xs.iter().map(|x| d.forward_inference(x)).collect();
+        let input = Matrix::from_rows(&xs.iter().map(|x| x.to_vec()).collect::<Vec<_>>()).unwrap();
+        let out = d.forward_batch(&input);
+        for (r, expect) in per_sample.iter().enumerate() {
+            assert_eq!(out.row(r), expect.as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn backward_batch_accumulates_same_grads_as_per_sample_loop() {
+        let xs = [[0.4, -0.2, 0.9], [0.0, 1.5, -1.0]];
+        let gs = [[1.0, -0.5], [0.25, 2.0]];
+
+        let mut per = layer(Activation::Tanh);
+        let mut per_gin = Vec::new();
+        for (x, g) in xs.iter().zip(gs.iter()) {
+            per.forward(x);
+            per_gin.push(per.backward(g));
+        }
+
+        let mut bat = layer(Activation::Tanh);
+        let input = Matrix::from_rows(&xs.iter().map(|x| x.to_vec()).collect::<Vec<_>>()).unwrap();
+        let gout = Matrix::from_rows(&gs.iter().map(|g| g.to_vec()).collect::<Vec<_>>()).unwrap();
+        bat.forward_batch(&input);
+        let gin = bat.backward_batch(&gout);
+        for (r, expect) in per_gin.iter().enumerate() {
+            assert_eq!(gin.row(r), expect.as_slice(), "grad_input row {r}");
+        }
+        assert_eq!(per.grad_w, bat.grad_w, "grad_w must match bitwise");
+        assert_eq!(per.grad_b, bat.grad_b, "grad_b must match bitwise");
     }
 
     #[test]

@@ -75,6 +75,35 @@ pub fn check_gradients<N: Network>(
     }
 }
 
+/// Runs the forward/backward pair through the **batched** path
+/// ([`crate::network::BatchNetwork::forward_batch`] /
+/// [`crate::network::BatchNetwork::backward_batch`]) to
+/// populate the gradients, then checks them against central finite
+/// differences of `loss` exactly like [`check_gradients`].
+///
+/// `loss` must recompute, from scratch, the same scalar the batch
+/// implicitly optimizes — i.e. the loss whose per-row gradients are
+/// `grad_output` (typically a sum of per-row losses over `input`). Since
+/// the batched path accumulates gradients bitwise-identically to per-sample
+/// passes in row order, this check passing for one path proves it for both;
+/// tests still run both paths to enforce that equivalence end to end.
+///
+/// # Panics
+/// Panics when an index is out of range.
+pub fn check_gradients_batched<N: crate::network::BatchNetwork>(
+    network: &mut N,
+    input: &eadrl_linalg::Matrix,
+    grad_output: &eadrl_linalg::Matrix,
+    loss: impl Fn(&mut N) -> f64,
+    indices: &[usize],
+    step: f64,
+) -> GradCheckReport {
+    network.zero_grad();
+    network.forward_batch(input);
+    network.backward_batch(grad_output);
+    check_gradients(network, loss, indices, step)
+}
+
 /// Convenience: evenly spaced probe indices covering a parameter vector.
 pub fn probe_indices(param_count: usize, probes: usize) -> Vec<usize> {
     if param_count == 0 || probes == 0 {
@@ -142,6 +171,45 @@ mod tests {
         );
         assert!(!report.passes(1e-5));
         assert!(report.max_abs_error > 0.5);
+    }
+
+    #[test]
+    fn per_sample_and_batched_checks_agree_bitwise() {
+        use eadrl_linalg::Matrix;
+
+        let mut rng = DetRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&mut rng, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let xs = [[0.3, -0.7, 0.5], [0.9, 0.1, -0.2]];
+        let targets = [[1.0, -0.5], [0.0, 0.25]];
+        let total_loss = |net: &mut Mlp| -> f64 {
+            xs.iter()
+                .zip(targets.iter())
+                .map(|(x, t)| mse_loss(&net.forward_inference(x), t))
+                .sum()
+        };
+
+        // Per-sample path: forward/backward each row in order.
+        mlp.zero_grad();
+        let mut grad_rows = Vec::new();
+        for (x, t) in xs.iter().zip(targets.iter()) {
+            let y = mlp.forward(x);
+            let g = mse_loss_grad(&y, t);
+            mlp.backward(&g);
+            grad_rows.push(g);
+        }
+        let indices = probe_indices(mlp.param_count(), 12);
+        let per_sample = check_gradients(&mut mlp, total_loss, &indices, 1e-6);
+        assert!(per_sample.passes(1e-5), "{per_sample:?}");
+
+        // Batched path over the same rows, same loss, same probes.
+        let input = Matrix::from_rows(&xs.iter().map(|x| x.to_vec()).collect::<Vec<_>>()).unwrap();
+        let gout = Matrix::from_rows(&grad_rows).unwrap();
+        let batched = check_gradients_batched(&mut mlp, &input, &gout, total_loss, &indices, 1e-6);
+        assert!(batched.passes(1e-5), "{batched:?}");
+        assert_eq!(
+            per_sample, batched,
+            "batched gradcheck must reproduce the per-sample report bitwise"
+        );
     }
 
     #[test]

@@ -32,9 +32,9 @@ pub mod optimizer;
 pub use activation::Activation;
 pub use conv::Conv1d;
 pub use dense::Dense;
-pub use gradcheck::{check_gradients, probe_indices, GradCheckReport};
+pub use gradcheck::{check_gradients, check_gradients_batched, probe_indices, GradCheckReport};
 pub use loss::{mse_loss, mse_loss_grad};
 pub use lstm::{BiLstm, Lstm};
 pub use mlp::Mlp;
-pub use network::Network;
+pub use network::{BatchNetwork, Network};
 pub use optimizer::{Adam, Optimizer, Sgd};

@@ -3,6 +3,7 @@
 use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::network::Network;
+use eadrl_linalg::Matrix;
 use eadrl_rng::DetRng;
 
 /// A feed-forward network: a chain of [`Dense`] layers.
@@ -95,6 +96,92 @@ impl Mlp {
         }
         g
     }
+
+    /// Batched forward pass with caching: each layer's output batch feeds
+    /// the next layer directly out of its persistent cache, so the whole
+    /// pass is allocation-free at steady state. Returns the final layer's
+    /// output rows.
+    pub fn forward_batch(&mut self, input: &Matrix) -> &Matrix {
+        let n = self.layers.len();
+        for idx in 0..n {
+            let (before, rest) = self.layers.split_at_mut(idx);
+            if idx == 0 {
+                rest[0].forward_batch(input);
+            } else {
+                let prev = before[idx - 1].batch_output();
+                rest[0].forward_batch(prev);
+            }
+        }
+        self.layers[n - 1].batch_output()
+    }
+
+    /// Output rows of the last [`Mlp::forward_batch`] call (the final
+    /// layer's cached batch output).
+    pub fn batch_output(&self) -> &Matrix {
+        self.layers[self.layers.len() - 1].batch_output()
+    }
+
+    /// Input-gradient rows of the last [`Mlp::backward_batch`] call (the
+    /// first layer's cached input gradient).
+    pub fn batch_grad_input(&self) -> &Matrix {
+        self.layers[0].batch_grad_input()
+    }
+
+    /// Batched backward pass through all layers (gradients accumulate in
+    /// sample order, exactly as per-sample [`Mlp::backward`] calls would);
+    /// returns the input-gradient rows.
+    pub fn backward_batch(&mut self, grad_output: &Matrix) -> &Matrix {
+        let n = self.layers.len();
+        for idx in (0..n).rev() {
+            let (before, rest) = self.layers.split_at_mut(idx + 1);
+            if idx == n - 1 {
+                before[idx].backward_batch(grad_output);
+            } else {
+                let g = rest[0].batch_grad_input();
+                before[idx].backward_batch(g);
+            }
+        }
+        self.layers[0].batch_grad_input()
+    }
+
+    /// Batched backward pass for training loops that discard the input
+    /// gradient: identical parameter-gradient accumulation to
+    /// [`Mlp::backward_batch`] (bitwise), but the first layer skips its
+    /// input-gradient GEMM — nothing sits below it to receive one.
+    pub fn backward_batch_weights_only(&mut self, grad_output: &Matrix) {
+        let n = self.layers.len();
+        for idx in (0..n).rev() {
+            let (before, rest) = self.layers.split_at_mut(idx + 1);
+            let g = if idx == n - 1 {
+                grad_output
+            } else {
+                rest[0].batch_grad_input()
+            };
+            if idx == 0 {
+                before[idx].backward_batch_weights_only(g);
+            } else {
+                before[idx].backward_batch(g);
+            }
+        }
+    }
+
+    /// Batched backward pass computing only the input gradients — no
+    /// layer's `grad_w`/`grad_b` is touched. Bitwise identical input
+    /// gradients to [`Mlp::backward_batch`], minus the weight-gradient
+    /// GEMMs; see [`Dense::backward_batch_input_only`].
+    pub fn backward_batch_input_only(&mut self, grad_output: &Matrix) -> &Matrix {
+        let n = self.layers.len();
+        for idx in (0..n).rev() {
+            let (before, rest) = self.layers.split_at_mut(idx + 1);
+            if idx == n - 1 {
+                before[idx].backward_batch_input_only(grad_output);
+            } else {
+                let g = rest[0].batch_grad_input();
+                before[idx].backward_batch_input_only(g);
+            }
+        }
+        self.layers[0].batch_grad_input()
+    }
 }
 
 impl Network for Mlp {
@@ -102,6 +189,16 @@ impl Network for Mlp {
         for layer in self.layers.iter_mut() {
             layer.visit_params(f);
         }
+    }
+}
+
+impl crate::network::BatchNetwork for Mlp {
+    fn forward_batch(&mut self, input: &Matrix) -> &Matrix {
+        Mlp::forward_batch(self, input)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Matrix) -> &Matrix {
+        Mlp::backward_batch(self, grad_output)
     }
 }
 

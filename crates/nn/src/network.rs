@@ -1,5 +1,7 @@
 //! The parameter-visitor trait that connects networks to optimizers.
 
+use eadrl_linalg::Matrix;
+
 /// Anything with trainable parameters and gradient buffers.
 ///
 /// Optimizers never see layer structure; they only visit `(params, grads)`
@@ -52,8 +54,16 @@ pub trait Network {
     /// syncing and serialization).
     fn flat_params(&mut self) -> Vec<f64> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p, _g| out.extend_from_slice(p));
+        self.flat_params_into(&mut out);
         out
+    }
+
+    /// Flattens all parameters into a caller-owned buffer, reusing its
+    /// allocation — the allocation-free form of [`Self::flat_params`] for
+    /// per-update hot paths (Polyak target syncs, telemetry snapshots).
+    fn flat_params_into(&mut self, out: &mut Vec<f64>) {
+        out.clear();
+        self.visit_params(&mut |p, _g| out.extend_from_slice(p));
     }
 
     /// Loads parameters from a flat vector produced by [`Self::flat_params`]
@@ -84,4 +94,23 @@ pub trait Network {
         });
         assert_eq!(offset, source.len(), "soft update length mismatch");
     }
+}
+
+/// A [`Network`] that can also process a whole batch of samples per pass.
+///
+/// The contract is strict: for any batch assembled from rows `x_0..x_n`,
+/// `forward_batch` must produce exactly the rows `forward(x_0)..forward(x_n)`
+/// **bitwise**, and `backward_batch` must leave the gradient buffers bitwise
+/// equal to running the per-sample `forward`/`backward` pairs in row order.
+/// The property tests in `crates/nn/tests/props.rs` enforce this for every
+/// implementor.
+pub trait BatchNetwork: Network {
+    /// Forward pass over input rows (`batch x in_dim`), caching the batch
+    /// for [`Self::backward_batch`]; returns output rows.
+    fn forward_batch(&mut self, input: &Matrix) -> &Matrix;
+
+    /// Backward pass over output-gradient rows matching the last
+    /// [`Self::forward_batch`]; accumulates parameter gradients in sample
+    /// order and returns input-gradient rows.
+    fn backward_batch(&mut self, grad_output: &Matrix) -> &Matrix;
 }

@@ -1,6 +1,7 @@
 //! Gradient-descent optimizers over [`Network`] parameter visitors.
 
 use crate::network::Network;
+use eadrl_linalg::vector::{axpy, scale_in_place};
 
 /// A first-order optimizer.
 pub trait Optimizer {
@@ -57,14 +58,13 @@ impl Optimizer for Sgd {
             let v = &mut velocity[idx];
             debug_assert_eq!(v.len(), p.len(), "Sgd: topology changed between steps");
             if momentum > 0.0 {
-                for ((pi, gi), vi) in p.iter_mut().zip(g.iter()).zip(v.iter_mut()) {
-                    *vi = momentum * *vi - lr * gi;
-                    *pi += *vi;
-                }
+                // v = μ v - lr g; p += v — via the shared in-place kernels
+                // (`a - lr*g` and `a + (-lr)*g` are the same bits in IEEE).
+                scale_in_place(v, momentum);
+                axpy(-lr, g, v);
+                axpy(1.0, v, p);
             } else {
-                for (pi, gi) in p.iter_mut().zip(g.iter()) {
-                    *pi -= lr * gi;
-                }
+                axpy(-lr, g, p);
             }
             idx += 1;
         });
@@ -136,12 +136,18 @@ impl Optimizer for Adam {
             let m = &mut m_state[idx];
             let v = &mut v_state[idx];
             debug_assert_eq!(m.len(), p.len(), "Adam: topology changed between steps");
-            for i in 0..p.len() {
-                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-                let m_hat = m[i] / bc1;
-                let v_hat = v[i] / bc2;
-                p[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            // Lockstep zips so the whole update auto-vectorizes (the
+            // indexed form keeps bounds checks in the loop body).
+            for ((pv, &gv), (mv, vv)) in p
+                .iter_mut()
+                .zip(g.iter())
+                .zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *pv -= lr * m_hat / (v_hat.sqrt() + eps);
             }
             idx += 1;
         });

@@ -1,0 +1,93 @@
+//! Counting-allocator proof of the zero-steady-state-allocation claim:
+//! after warm-up, `forward_batch`/`backward_batch` must not touch the heap.
+//!
+//! This binary holds exactly ONE test: the global allocator is
+//! instrumented with a thread-local counter, and while counting is
+//! per-thread (so parallel test threads cannot interfere with the
+//! counter), keeping the binary single-test makes the measurement window
+//! unambiguous.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use eadrl_linalg::Matrix;
+use eadrl_nn::{Activation, Mlp, Network};
+use eadrl_rng::DetRng;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Passes every request through to the system allocator, counting
+/// allocations (not deallocations) on the current thread. `try_with`
+/// guards against counting during thread teardown, when the TLS slot is
+/// gone; `const`-initialized `Cell` TLS needs no allocating destructor.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOC_COUNT.with(|c| c.get())
+}
+
+#[test]
+fn batched_passes_are_allocation_free_after_warm_up() {
+    let mut rng = DetRng::seed_from_u64(9);
+    let mut mlp = Mlp::new(
+        &mut rng,
+        &[12, 32, 32, 1],
+        Activation::Relu,
+        Activation::Identity,
+    );
+
+    let batch = 64;
+    let input = Matrix::from_rows(
+        &(0..batch)
+            .map(|_| (0..12).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    )
+    .expect("rectangular input");
+    let gout = Matrix::from_rows(
+        &(0..batch)
+            .map(|_| vec![rng.random_range(-1.0..1.0)])
+            .collect::<Vec<Vec<f64>>>(),
+    )
+    .expect("rectangular grads");
+
+    // Warm-up: first passes size every persistent workspace.
+    for _ in 0..3 {
+        mlp.zero_grad();
+        mlp.forward_batch(&input);
+        mlp.backward_batch(&gout);
+    }
+
+    let before = allocations();
+    for _ in 0..10 {
+        mlp.zero_grad();
+        mlp.forward_batch(&input);
+        mlp.backward_batch(&gout);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched forward/backward must not allocate"
+    );
+}

@@ -1,8 +1,16 @@
 //! Property-based tests for the neural-network substrate.
 
+use eadrl_linalg::Matrix;
 use eadrl_nn::{Activation, Adam, Dense, Lstm, Mlp, Network, Optimizer};
 use eadrl_ptest::prelude::*;
 use eadrl_rng::DetRng;
+
+/// Deterministic input rows for the batch-equivalence properties.
+fn random_rows(rng: &mut DetRng, batch: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..batch)
+        .map(|_| (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect())
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -86,6 +94,106 @@ proptest! {
             let expect = tau * s + (1.0 - tau) * b;
             prop_assert!((a - expect).abs() < 1e-12);
         }
+    }
+
+    /// The batch contract, bitwise: `forward_batch(rows)` must equal
+    /// `rows.map(forward)` for random shapes and batch sizes, through both
+    /// a single layer and a deep MLP (ReLU exercises the exact-zero
+    /// sparsity fast path in the GEMM kernels).
+    #[test]
+    fn forward_batch_is_bitwise_map_of_forward(
+        seed in 0u64..1000,
+        batch in 1usize..9,
+        in_dim in 1usize..7,
+        hidden in 1usize..9,
+        out_dim in 1usize..5,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let rows = random_rows(&mut rng, batch, in_dim);
+        let input = Matrix::from_rows(&rows).unwrap();
+
+        let mut dense = Dense::new(&mut rng, in_dim, out_dim, Activation::Relu);
+        let per: Vec<Vec<f64>> = rows.iter().map(|x| dense.forward(x)).collect();
+        let out = dense.forward_batch(&input);
+        for (r, expect) in per.iter().enumerate() {
+            let got: Vec<u64> = out.row(r).iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want, "dense row {}", r);
+        }
+
+        let mut mlp = Mlp::new(&mut rng, &[in_dim, hidden, out_dim], Activation::Relu, Activation::Identity);
+        let per: Vec<Vec<f64>> = rows.iter().map(|x| mlp.forward(x)).collect();
+        let out = mlp.forward_batch(&input);
+        for (r, expect) in per.iter().enumerate() {
+            let got: Vec<u64> = out.row(r).iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want, "mlp row {}", r);
+        }
+    }
+
+    /// Batched backward must leave gradient buffers bitwise equal to
+    /// per-sample forward/backward pairs run in row order.
+    #[test]
+    fn backward_batch_accumulates_bitwise_per_sample_grads(
+        seed in 0u64..1000,
+        batch in 1usize..9,
+        in_dim in 1usize..6,
+        out_dim in 1usize..5,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let rows = random_rows(&mut rng, batch, in_dim);
+        let grads = random_rows(&mut rng, batch, out_dim);
+
+        let mut per = Mlp::new(&mut rng, &[in_dim, 5, out_dim], Activation::Tanh, Activation::Identity);
+        let mut bat = per.clone();
+
+        let mut per_gin = Vec::new();
+        for (x, g) in rows.iter().zip(grads.iter()) {
+            per.forward(x);
+            per_gin.push(per.backward(g));
+        }
+
+        let input = Matrix::from_rows(&rows).unwrap();
+        let gout = Matrix::from_rows(&grads).unwrap();
+        bat.forward_batch(&input);
+        let gin = bat.backward_batch(&gout);
+        for (r, expect) in per_gin.iter().enumerate() {
+            let got: Vec<u64> = gin.row(r).iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want, "grad_input row {}", r);
+        }
+
+        let mut pg = Vec::new();
+        per.visit_params(&mut |_p, g| pg.extend(g.iter().map(|v| v.to_bits())));
+        let mut bg = Vec::new();
+        bat.visit_params(&mut |_p, g| bg.extend(g.iter().map(|v| v.to_bits())));
+        prop_assert_eq!(pg, bg, "parameter gradients diverged");
+
+        // The input-only backward must return the same input-gradient bits
+        // while leaving every parameter gradient untouched.
+        let mut io = bat.clone();
+        io.zero_grad();
+        io.forward_batch(&input);
+        let gin_io = io.backward_batch_input_only(&gout);
+        for (r, expect) in per_gin.iter().enumerate() {
+            let got: Vec<u64> = gin_io.row(r).iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want, "input-only grad_input row {}", r);
+        }
+        let mut untouched = true;
+        io.visit_params(&mut |_p, g| untouched &= g.iter().all(|&v| v == 0.0));
+        prop_assert!(untouched, "input-only backward wrote parameter gradients");
+
+        // The weights-only backward must accumulate bitwise-identical
+        // parameter gradients (it merely skips the discarded layer-0
+        // input gradient).
+        let mut wo = bat.clone();
+        wo.zero_grad();
+        wo.forward_batch(&input);
+        wo.backward_batch_weights_only(&gout);
+        let mut wg = Vec::new();
+        wo.visit_params(&mut |_p, g| wg.extend(g.iter().map(|v| v.to_bits())));
+        prop_assert_eq!(wg, bg, "weights-only parameter gradients diverged");
     }
 
     #[test]

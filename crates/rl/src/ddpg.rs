@@ -4,10 +4,30 @@ use crate::env::Environment;
 use crate::noise::{Noise, OrnsteinUhlenbeck};
 use crate::replay::{ReplayBuffer, SamplingStrategy, Transition};
 use crate::squash::ActionSquash;
+use eadrl_linalg::Matrix;
 use eadrl_nn::{Activation, Adam, Mlp, Network, Optimizer};
 use eadrl_obs::{Counter, Gauge, Histogram, Level};
 use eadrl_rng::DetRng;
 use std::sync::Arc;
+
+/// Which compute path [`DdpgAgent::update`] takes through the networks.
+///
+/// Both paths are **bitwise-identical** in every observable way —
+/// post-update parameters, [`UpdateStats`], telemetry, and the RNG
+/// stream — as proven by the differential tests in
+/// `crates/rl/tests/batched_equivalence.rs` and
+/// `crates/core/tests/batched_determinism.rs`. `Batched` assembles the
+/// minibatch into matrices once and runs one GEMM-backed forward/backward
+/// per network per update; `PerSample` is the original transition-at-a-time
+/// loop, kept as the differential reference (and for profiling the gap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum UpdatePath {
+    /// Minibatch-as-matrix updates through `forward_batch`/`backward_batch`.
+    #[default]
+    Batched,
+    /// Original per-transition loop (reference implementation).
+    PerSample,
+}
 
 /// Hyper-parameters of the DDPG agent.
 ///
@@ -43,6 +63,9 @@ pub struct DdpgConfig {
     pub actor_logit_reg: f64,
     /// RNG seed (initialization, noise, replay sampling).
     pub seed: u64,
+    /// Compute path for gradient updates (bitwise-equivalent options; see
+    /// [`UpdatePath`]).
+    pub update_path: UpdatePath,
 }
 
 impl Default for DdpgConfig {
@@ -60,6 +83,7 @@ impl Default for DdpgConfig {
             noise_sigma: 0.2,
             actor_logit_reg: 1e-3,
             seed: 0,
+            update_path: UpdatePath::Batched,
         }
     }
 }
@@ -153,6 +177,39 @@ impl DdpgTelemetry {
     }
 }
 
+/// Persistent minibatch staging buffers for the batched update path.
+///
+/// Reshaped in place every update, so after the first update at a given
+/// batch size the assembly performs no heap allocations.
+#[derive(Debug, Default)]
+struct UpdateBuffers {
+    /// Sampled states (`n x state_dim`) — the actor's input batch.
+    states: Matrix,
+    /// Sampled next-states (`n x state_dim`) — the target actor's input.
+    next_states: Matrix,
+    /// `[state | action]` rows (`n x (state_dim + action_dim)`) — the
+    /// critic's TD-update input.
+    sa: Matrix,
+    /// `[next_state | π'(next_state)]` rows — the target critic's input.
+    next_sa: Matrix,
+    /// `[state | π(state)]` rows — the critic's input in the actor update.
+    pi_sa: Matrix,
+    /// Per-sample scalar gradients fed into the critic (`n x 1`).
+    grad_q: Matrix,
+    /// Per-sample raw-action gradients fed into the actor (`n x action_dim`).
+    grad_raw: Matrix,
+    /// Sampled rewards, in batch order.
+    rewards: Vec<f64>,
+    /// Sampled terminal flags, in batch order.
+    dones: Vec<bool>,
+    /// Bellman targets `y`, in batch order.
+    targets: Vec<f64>,
+    /// Scratch for Polyak syncs: current actor parameters.
+    actor_params: Vec<f64>,
+    /// Scratch for Polyak syncs: current critic parameters.
+    critic_params: Vec<f64>,
+}
+
 /// The DDPG agent: actor + critic networks, their targets, a replay buffer
 /// and an exploration-noise process.
 pub struct DdpgAgent {
@@ -170,6 +227,7 @@ pub struct DdpgAgent {
     action_dim: usize,
     updates: u64,
     telemetry: DdpgTelemetry,
+    bufs: UpdateBuffers,
 }
 
 impl DdpgAgent {
@@ -209,6 +267,7 @@ impl DdpgAgent {
             action_dim,
             updates: 0,
             telemetry: DdpgTelemetry::new(),
+            bufs: UpdateBuffers::default(),
             actor,
             critic,
             target_actor,
@@ -278,12 +337,162 @@ impl DdpgAgent {
     /// gradient + Polyak target updates) and returns its diagnostics.
     /// No-op (returning `None`) until the buffer holds at least one
     /// batch.
+    ///
+    /// The two [`UpdatePath`]s are interchangeable bit for bit: both
+    /// consume exactly one replay-sampling draw from the RNG stream and
+    /// produce identical post-update parameters and diagnostics.
     pub fn update(&mut self) -> Option<UpdateStats> {
         let n = self.config.batch_size;
         if self.buffer.len() < n {
             return None;
         }
         let _span = eadrl_obs::span_at(Level::Trace, "ddpg.update");
+        let stats = match self.config.update_path {
+            UpdatePath::Batched => self.update_batched(),
+            UpdatePath::PerSample => self.update_per_sample(),
+        };
+        self.updates += 1;
+        self.telemetry.updates.inc();
+        self.telemetry.critic_loss.record(stats.critic_loss);
+        Some(stats)
+    }
+
+    /// Minibatch-as-matrix update: the sampled transitions are staged into
+    /// the persistent [`UpdateBuffers`] matrices once, and every network
+    /// runs one batched forward/backward per update. Gradients accumulate
+    /// through the GEMM kernels in sample order, so the result is
+    /// bitwise-identical to [`Self::update_per_sample`].
+    fn update_batched(&mut self) -> UpdateStats {
+        let n = self.config.batch_size;
+        let sd = self.state_dim;
+        let ad = self.action_dim;
+
+        // ---- Stage the minibatch (one RNG draw, same as the per-sample
+        // path; the borrowed transitions are copied straight into the
+        // reused matrices — no per-transition clones).
+        {
+            let batch = self.buffer.sample(n, self.config.sampling, &mut self.rng);
+            self.bufs.states.resize(n, sd);
+            self.bufs.next_states.resize(n, sd);
+            self.bufs.sa.resize(n, sd + ad);
+            self.bufs.rewards.clear();
+            self.bufs.dones.clear();
+            for (s, t) in batch.iter().enumerate() {
+                self.bufs.states.row_mut(s).copy_from_slice(&t.state);
+                self.bufs
+                    .next_states
+                    .row_mut(s)
+                    .copy_from_slice(&t.next_state);
+                let row = self.bufs.sa.row_mut(s);
+                row[..sd].copy_from_slice(&t.state);
+                row[sd..].copy_from_slice(&t.action);
+                self.bufs.rewards.push(t.reward);
+                self.bufs.dones.push(t.done);
+            }
+        }
+
+        // ---- Bellman targets via the target networks, batched.
+        self.target_actor.forward_batch(&self.bufs.next_states);
+        self.bufs.next_sa.resize(n, sd + ad);
+        for s in 0..n {
+            let row = self.bufs.next_sa.row_mut(s);
+            let (row_s, row_a) = row.split_at_mut(sd);
+            row_s.copy_from_slice(self.bufs.next_states.row(s));
+            // Squash straight into the staged minibatch row — no
+            // per-sample Vec.
+            self.config
+                .squash
+                .forward_into(self.target_actor.batch_output().row(s), row_a);
+        }
+        self.target_critic.forward_batch(&self.bufs.next_sa);
+        self.bufs.targets.clear();
+        for s in 0..n {
+            let q_next = self.target_critic.batch_output()[(s, 0)];
+            let y = self.bufs.rewards[s]
+                + if self.bufs.dones[s] {
+                    0.0
+                } else {
+                    self.config.gamma * q_next
+                };
+            self.bufs.targets.push(y);
+        }
+
+        // ---- Critic update: minimize (Q(s,a) - y)² with Bellman targets.
+        self.critic.zero_grad();
+        self.critic.forward_batch(&self.bufs.sa);
+        let mut critic_loss = 0.0;
+        self.bufs.grad_q.resize(n, 1);
+        for s in 0..n {
+            let err = self.critic.batch_output()[(s, 0)] - self.bufs.targets[s];
+            critic_loss += err * err / n as f64;
+            self.bufs.grad_q[(s, 0)] = 2.0 * err / n as f64;
+        }
+        // Nothing sits below the critic's first layer — skip its
+        // input-gradient GEMM (parameter gradients are bitwise identical).
+        self.critic.backward_batch_weights_only(&self.bufs.grad_q);
+        let critic_grad_norm = eadrl_obs::enabled(Level::Debug).then(|| self.critic.grad_norm());
+        self.critic.clip_grad_norm(5.0);
+        self.critic_opt.step(&mut self.critic);
+
+        // ---- Actor update: ascend ∇_θ Q(s, π_θ(s)).
+        self.actor.zero_grad();
+        self.actor.forward_batch(&self.bufs.states);
+        self.bufs.pi_sa.resize(n, sd + ad);
+        for s in 0..n {
+            let row = self.bufs.pi_sa.row_mut(s);
+            let (row_s, row_a) = row.split_at_mut(sd);
+            row_s.copy_from_slice(self.bufs.states.row(s));
+            self.config
+                .squash
+                .forward_into(self.actor.batch_output().row(s), row_a);
+        }
+        self.critic.forward_batch(&self.bufs.pi_sa);
+        let mut actor_objective = 0.0;
+        self.bufs.grad_q.resize(n, 1);
+        for s in 0..n {
+            actor_objective += self.critic.batch_output()[(s, 0)] / n as f64;
+            // dQ/d(input) with loss = -Q / n (gradient ascent on Q).
+            self.bufs.grad_q[(s, 0)] = -1.0 / n as f64;
+        }
+        // The critic is differentiated only to reach the action inputs —
+        // its own weight gradients are scratch in both update paths, so
+        // the input-only backward skips computing them altogether.
+        self.critic.backward_batch_input_only(&self.bufs.grad_q);
+        self.bufs.grad_raw.resize(n, ad);
+        let reg = self.config.actor_logit_reg;
+        for s in 0..n {
+            let raw = self.actor.batch_output().row(s);
+            let action = &self.bufs.pi_sa.row(s)[sd..];
+            let grad_action = &self.critic.batch_grad_input().row(s)[sd..];
+            let grad_raw = self.bufs.grad_raw.row_mut(s);
+            self.config
+                .squash
+                .backward_into(raw, action, grad_action, grad_raw);
+            // Logit weight decay: keeps the actor out of squash saturation.
+            if reg > 0.0 {
+                for (g, &r) in grad_raw.iter_mut().zip(raw.iter()) {
+                    *g += reg * r / n as f64;
+                }
+            }
+        }
+        self.actor.backward_batch_weights_only(&self.bufs.grad_raw);
+        let actor_grad_norm = eadrl_obs::enabled(Level::Debug).then(|| self.actor.grad_norm());
+        self.actor.clip_grad_norm(5.0);
+        self.actor_opt.step(&mut self.actor);
+
+        self.polyak_target_updates();
+        UpdateStats {
+            critic_loss,
+            actor_objective,
+            critic_grad_norm,
+            actor_grad_norm,
+        }
+    }
+
+    /// Original transition-at-a-time update loop — the differential
+    /// reference for [`Self::update_batched`].
+    fn update_per_sample(&mut self) -> UpdateStats {
+        let n = self.config.batch_size;
         let batch: Vec<Transition> = self
             .buffer
             .sample(n, self.config.sampling, &mut self.rng)
@@ -349,21 +558,27 @@ impl DdpgAgent {
         self.actor_opt.step(&mut self.actor);
         self.critic.zero_grad(); // discard scratch gradients
 
-        // ---- Polyak soft target updates.
-        let tau = self.config.tau;
-        let actor_params = self.actor.flat_params();
-        self.target_actor.soft_update_from(&actor_params, tau);
-        let critic_params = self.critic.flat_params();
-        self.target_critic.soft_update_from(&critic_params, tau);
-        self.updates += 1;
-        self.telemetry.updates.inc();
-        self.telemetry.critic_loss.record(critic_loss);
-        Some(UpdateStats {
+        self.polyak_target_updates();
+        UpdateStats {
             critic_loss,
             actor_objective,
             critic_grad_norm,
             actor_grad_norm,
-        })
+        }
+    }
+
+    /// Polyak soft target updates, shared by both update paths. Parameter
+    /// snapshots go through persistent scratch buffers
+    /// ([`Network::flat_params_into`]) so the per-update sync is
+    /// allocation-free at steady state.
+    fn polyak_target_updates(&mut self) {
+        let tau = self.config.tau;
+        self.actor.flat_params_into(&mut self.bufs.actor_params);
+        self.target_actor
+            .soft_update_from(&self.bufs.actor_params, tau);
+        self.critic.flat_params_into(&mut self.bufs.critic_params);
+        self.target_critic
+            .soft_update_from(&self.bufs.critic_params, tau);
     }
 
     /// Runs one episode on `env`. With `train = true` the agent explores,
@@ -509,6 +724,20 @@ impl DdpgAgent {
     pub fn load_actor_params(&mut self, params: &[f64]) {
         self.actor.load_flat_params(params);
     }
+
+    /// Snapshot of the critic's parameters (differential testing of the
+    /// batched vs per-sample update paths).
+    pub fn critic_params(&mut self) -> Vec<f64> {
+        self.critic.flat_params()
+    }
+
+    /// Snapshot of the target networks' parameters, actor then critic
+    /// (differential testing of the Polyak averaging step).
+    pub fn target_params(&mut self) -> Vec<f64> {
+        let mut v = self.target_actor.flat_params();
+        v.extend(self.target_critic.flat_params());
+        v
+    }
 }
 
 fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
@@ -537,6 +766,7 @@ mod tests {
             noise_sigma: 0.3,
             actor_logit_reg: 0.0,
             seed: 7,
+            update_path: UpdatePath::Batched,
         }
     }
 

@@ -32,13 +32,35 @@ pub enum ActionSquash {
 impl ActionSquash {
     /// Applies the map to a raw actor output.
     pub fn forward(self, raw: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; raw.len()];
+        self.forward_into(raw, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ActionSquash::forward`]: writes the squashed
+    /// action into `out` (e.g. directly into a staged minibatch row).
+    /// Identical arithmetic, so results are bitwise equal to `forward`.
+    ///
+    /// # Panics
+    /// Debug-panics when `out.len() != raw.len()`.
+    pub fn forward_into(self, raw: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), raw.len(), "squash forward_into: dim");
         match self {
-            ActionSquash::Identity => raw.to_vec(),
-            ActionSquash::Tanh => raw.iter().map(|x| x.tanh()).collect(),
-            ActionSquash::Softmax => eadrl_linalg_softmax(raw),
+            ActionSquash::Identity => out.copy_from_slice(raw),
+            ActionSquash::Tanh => {
+                for (o, x) in out.iter_mut().zip(raw.iter()) {
+                    *o = x.tanh();
+                }
+            }
+            ActionSquash::Softmax => {
+                out.copy_from_slice(raw);
+                softmax_in_place(out);
+            }
             ActionSquash::BoundedSoftmax { scale } => {
-                let z: Vec<f64> = raw.iter().map(|x| scale * x.tanh()).collect();
-                eadrl_linalg_softmax(&z)
+                for (o, x) in out.iter_mut().zip(raw.iter()) {
+                    *o = scale * x.tanh();
+                }
+                softmax_in_place(out);
             }
         }
     }
@@ -49,55 +71,78 @@ impl ActionSquash {
     /// deterministic policy gradient flow through the squash into the
     /// actor network.
     pub fn backward(self, raw: &[f64], output: &[f64], grad_output: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; raw.len()];
+        self.backward_into(raw, output, grad_output, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ActionSquash::backward`]: writes the raw-output
+    /// gradient into `out`. Identical arithmetic, so results are bitwise
+    /// equal to `backward`.
+    ///
+    /// # Panics
+    /// Debug-panics when `out.len() != raw.len()`.
+    pub fn backward_into(self, raw: &[f64], output: &[f64], grad_output: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), raw.len(), "squash backward_into: dim");
         match self {
-            ActionSquash::Identity => grad_output.to_vec(),
-            ActionSquash::Tanh => output
-                .iter()
-                .zip(grad_output.iter())
-                .map(|(y, g)| g * (1.0 - y * y))
-                .collect(),
-            ActionSquash::Softmax => softmax_vjp(output, grad_output),
+            ActionSquash::Identity => out.copy_from_slice(grad_output),
+            ActionSquash::Tanh => {
+                for (o, (y, g)) in out.iter_mut().zip(output.iter().zip(grad_output.iter())) {
+                    *o = g * (1.0 - y * y);
+                }
+            }
+            ActionSquash::Softmax => {
+                let dot = simplex_grad_dot(output, grad_output);
+                for (o, (p, g)) in out.iter_mut().zip(output.iter().zip(grad_output.iter())) {
+                    *o = p * (g - dot);
+                }
+            }
             ActionSquash::BoundedSoftmax { scale } => {
-                let gz = softmax_vjp(output, grad_output);
-                raw.iter()
-                    .zip(gz.iter())
-                    .map(|(x, g)| {
-                        let t = x.tanh();
-                        g * scale * (1.0 - t * t)
-                    })
-                    .collect()
+                // Fused single pass over the softmax VJP and the
+                // bounded-logit chain rule: per element the expression
+                // tree is identical to materializing the intermediate
+                // `gz` vector, so results are bitwise unchanged.
+                let dot = simplex_grad_dot(output, grad_output);
+                let it = raw.iter().zip(output.iter().zip(grad_output.iter()));
+                for (o, (x, (p, g))) in out.iter_mut().zip(it) {
+                    let gz = p * (g - dot);
+                    let t = x.tanh();
+                    *o = gz * scale * (1.0 - t * t);
+                }
             }
         }
     }
 }
 
-/// `Jᵀ g` for the softmax: `J = diag(p) - p pᵀ  =>  Jᵀ g = p ⊙ (g - p·g)`.
-fn softmax_vjp(output: &[f64], grad_output: &[f64]) -> Vec<f64> {
-    let dot: f64 = output
-        .iter()
-        .zip(grad_output.iter())
-        .map(|(p, g)| p * g)
-        .sum();
+/// The scalar `p·g` of the softmax VJP
+/// (`J = diag(p) - p pᵀ  =>  Jᵀ g = p ⊙ (g - p·g)`).
+fn simplex_grad_dot(output: &[f64], grad_output: &[f64]) -> f64 {
     output
         .iter()
         .zip(grad_output.iter())
-        .map(|(p, g)| p * (g - dot))
-        .collect()
+        .map(|(p, g)| p * g)
+        .sum()
 }
 
-// Local stable softmax (duplicated from eadrl-linalg to keep this crate's
-// dependency list minimal — the rl crate does not otherwise need linalg).
-fn eadrl_linalg_softmax(a: &[f64]) -> Vec<f64> {
+/// Stable softmax computed in one buffer: same max-shift / exp / normalize
+/// sequence as the allocating form, just without the intermediate vectors,
+/// so every element sees the identical chain of operations.
+fn softmax_in_place(a: &mut [f64]) {
     if a.is_empty() {
-        return Vec::new();
+        return;
     }
     let m = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if !m.is_finite() {
-        return vec![1.0 / a.len() as f64; a.len()];
+        a.fill(1.0 / a.len() as f64);
+        return;
     }
-    let exps: Vec<f64> = a.iter().map(|x| (x - m).exp()).collect();
-    let s: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / s).collect()
+    for x in a.iter_mut() {
+        *x = (*x - m).exp();
+    }
+    let s: f64 = a.iter().sum();
+    for x in a.iter_mut() {
+        *x /= s;
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,8 @@ impl Mlp {
     /// pass is allocation-free at steady state. Returns the final layer's
     /// output rows.
     pub fn forward_batch(&mut self, input: &Matrix) -> &Matrix {
+        let mut _kernel = eadrl_obs::span_at(eadrl_obs::Level::Trace, "nn.forward_batch");
+        _kernel.record("rows", input.rows().into());
         let n = self.layers.len();
         for idx in 0..n {
             let (before, rest) = self.layers.split_at_mut(idx);
@@ -131,6 +133,8 @@ impl Mlp {
     /// sample order, exactly as per-sample [`Mlp::backward`] calls would);
     /// returns the input-gradient rows.
     pub fn backward_batch(&mut self, grad_output: &Matrix) -> &Matrix {
+        let mut _kernel = eadrl_obs::span_at(eadrl_obs::Level::Trace, "nn.backward_batch");
+        _kernel.record("rows", grad_output.rows().into());
         let n = self.layers.len();
         for idx in (0..n).rev() {
             let (before, rest) = self.layers.split_at_mut(idx + 1);
@@ -149,6 +153,8 @@ impl Mlp {
     /// [`Mlp::backward_batch`] (bitwise), but the first layer skips its
     /// input-gradient GEMM — nothing sits below it to receive one.
     pub fn backward_batch_weights_only(&mut self, grad_output: &Matrix) {
+        let mut _kernel = eadrl_obs::span_at(eadrl_obs::Level::Trace, "nn.backward_batch");
+        _kernel.record("rows", grad_output.rows().into());
         let n = self.layers.len();
         for idx in (0..n).rev() {
             let (before, rest) = self.layers.split_at_mut(idx + 1);
@@ -170,6 +176,8 @@ impl Mlp {
     /// gradients to [`Mlp::backward_batch`], minus the weight-gradient
     /// GEMMs; see [`Dense::backward_batch_input_only`].
     pub fn backward_batch_input_only(&mut self, grad_output: &Matrix) -> &Matrix {
+        let mut _kernel = eadrl_obs::span_at(eadrl_obs::Level::Trace, "nn.backward_batch");
+        _kernel.record("rows", grad_output.rows().into());
         let n = self.layers.len();
         for idx in (0..n).rev() {
             let (before, rest) = self.layers.split_at_mut(idx + 1);

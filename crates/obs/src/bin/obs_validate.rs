@@ -2,28 +2,39 @@
 //! contract. Used by CI on the quickstart trace.
 //!
 //! ```text
-//! obs_validate TRACE.jsonl [--require NAME]...
+//! obs_validate TRACE.jsonl [--require NAME]... [--schema DESIGN.md]
 //! ```
 //!
 //! Every non-empty line must parse as a JSON object with a numeric `ts`
 //! and string `name`/`kind`/`level` fields (the full [`eadrl_obs::Event`]
 //! contract). Each `--require NAME` additionally demands at least one
 //! event whose name — or any `/`-separated span path segment — equals
-//! NAME. Exits non-zero with a diagnostic on the first violation.
+//! NAME. `--schema DESIGN.md` additionally validates every event name
+//! (every span-path segment) against the "Telemetry event schema" table
+//! in that file. Exits non-zero with a diagnostic on the first violation.
 
-use eadrl_obs::Event;
+use eadrl_obs::{Event, ObsSchema};
 use std::process::ExitCode;
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let path = args
         .next()
-        .ok_or("usage: obs_validate TRACE.jsonl [--require NAME]...")?;
+        .ok_or("usage: obs_validate TRACE.jsonl [--require NAME]... [--schema DESIGN.md]")?;
     let mut required: Vec<String> = Vec::new();
+    let mut schema: Option<ObsSchema> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--require" => {
                 required.push(args.next().ok_or("--require needs a NAME argument")?);
+            }
+            "--schema" => {
+                let md_path = args.next().ok_or("--schema needs a FILE argument")?;
+                let md = std::fs::read_to_string(&md_path)
+                    .map_err(|e| format!("cannot read {md_path}: {e}"))?;
+                schema = Some(ObsSchema::from_design_md(&md).ok_or(format!(
+                    "{md_path}: no 'Telemetry event schema' table found"
+                ))?);
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -39,6 +50,17 @@ fn run() -> Result<(), String> {
         let event = Event::from_json_line(line)
             .map_err(|e| format!("{path}:{}: invalid event: {e}", lineno + 1))?;
         events += 1;
+        if let Some(schema) = &schema {
+            // Metric names are derived (`<histogram>.p50` etc.), not
+            // emitter literals; the schema table binds events and spans.
+            if event.kind != eadrl_obs::EventKind::Metric && !schema.matches_path(&event.name) {
+                return Err(format!(
+                    "{path}:{}: event name '{}' is not in the schema table",
+                    lineno + 1,
+                    event.name
+                ));
+            }
+        }
         for (i, name) in required.iter().enumerate() {
             if event.name_matches(name) {
                 seen[i] = true;

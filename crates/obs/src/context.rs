@@ -1,0 +1,178 @@
+//! Per-thread telemetry context: worker attribution, span-path
+//! inheritance, and the buffered emission used by `eadrl-par`.
+//!
+//! A worker thread spawned by the deterministic pool has three problems
+//! the global pipeline can't solve on its own:
+//!
+//! 1. its events should be **attributed** (`Event::thread`) so a trace
+//!    can be split back into per-thread span trees;
+//! 2. its spans should **nest under the caller's span path** — a model
+//!    fit inside `eadrl.fit/par.map` must show up there, not as an
+//!    orphaned root (and *must* do so identically at every
+//!    `EADRL_PAR_THREADS`, or profile tree shapes would depend on the
+//!    thread count);
+//! 3. its events must not race the global sink: unbuffered workers
+//!    contend on the sink mutex and interleave nondeterministically.
+//!
+//! [`worker_context`] solves all three: it stamps a thread id, pushes
+//! the parent span path as the root of this thread's span stack, and
+//! (optionally) redirects every [`crate::emit`] on this thread into a
+//! thread-local buffer. The pool takes the buffer back with
+//! [`WorkerContext::take_buffered`] and replays the batches **in
+//! worker-index order** after the join, so a parallel trace is ordered
+//! exactly like the serial one.
+
+use crate::event::Event;
+use crate::span::SPAN_STACK;
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static BUFFER: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
+}
+
+/// The current thread's telemetry attribution id (`0` = main thread or
+/// any thread outside a [`worker_context`]).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(Cell::get)
+}
+
+/// The innermost recording span path on this thread, `None` outside any
+/// span. This is what a pool captures before spawning so workers can
+/// inherit it.
+pub fn current_span_path() -> Option<String> {
+    SPAN_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Intercepts an event into this thread's buffer; `false` means no
+/// buffer is active and the caller should emit to the sink.
+pub(crate) fn buffer_push(event: &Event) -> bool {
+    BUFFER.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.push(event.clone());
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Intercepts a whole batch into this thread's buffer; `false` means no
+/// buffer is active. Used by [`crate::emit_batch`] so a nested pool
+/// (a `par_map` inside a worker) feeds the *outer* worker's buffer
+/// instead of racing the sink.
+pub(crate) fn buffer_extend(events: &[Event]) -> bool {
+    BUFFER.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.extend(events.iter().cloned());
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// A live worker telemetry context; restores the previous thread state
+/// on drop. See [`worker_context`].
+#[must_use = "the context applies for exactly the scope it is bound to"]
+pub struct WorkerContext {
+    prev_id: u64,
+    pushed_path: bool,
+    buffering: bool,
+    prev_buffer: Option<Vec<Event>>,
+}
+
+/// Enters a worker context on the current thread:
+///
+/// * events created here carry `thread = id`;
+/// * when `parent_path` is given, it becomes the root of this thread's
+///   span stack, so new spans nest under the spawning call site;
+/// * when `buffer` is set, events emitted on this thread are captured
+///   instead of sent — drain them with [`WorkerContext::take_buffered`]
+///   and replay through [`crate::emit_batch`] in a deterministic order.
+///
+/// Contexts nest (a serial `par_map` fallback inside a worker enters a
+/// second context on the same thread): the drop restores the previous
+/// thread id and buffer.
+pub fn worker_context(id: u64, parent_path: Option<&str>, buffer: bool) -> WorkerContext {
+    let prev_id = THREAD_ID.with(|t| t.replace(id));
+    let pushed_path = if let Some(path) = parent_path {
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(path.to_string()));
+        true
+    } else {
+        false
+    };
+    let prev_buffer = if buffer {
+        BUFFER.with(|b| b.borrow_mut().replace(Vec::new()))
+    } else {
+        None
+    };
+    WorkerContext {
+        prev_id,
+        pushed_path,
+        buffering: buffer,
+        prev_buffer,
+    }
+}
+
+impl WorkerContext {
+    /// Drains the events buffered on this thread so far (empty when the
+    /// context does not buffer).
+    pub fn take_buffered(&mut self) -> Vec<Event> {
+        if !self.buffering {
+            return Vec::new();
+        }
+        BUFFER.with(|b| {
+            b.borrow_mut()
+                .as_mut()
+                .map(std::mem::take)
+                .unwrap_or_default()
+        })
+    }
+}
+
+impl Drop for WorkerContext {
+    fn drop(&mut self) {
+        THREAD_ID.with(|t| t.set(self.prev_id));
+        if self.pushed_path {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+        if self.buffering {
+            // Anything not taken is discarded deliberately: an abandoned
+            // buffer belongs to an abandoned batch (worker panic path),
+            // and flushing it here would race the join-ordered replay.
+            // The *previous* buffer (outer nested context) is restored.
+            let prev = self.prev_buffer.take();
+            BUFFER.with(|b| *b.borrow_mut() = prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Level};
+
+    #[test]
+    fn context_sets_and_restores_thread_state() {
+        assert_eq!(thread_id(), 0);
+        {
+            let mut ctx = worker_context(7, Some("root.span"), true);
+            assert_eq!(thread_id(), 7);
+            assert_eq!(current_span_path().as_deref(), Some("root.span"));
+            let e = Event::new("ctx.test", EventKind::Event, Level::Info);
+            assert_eq!(e.thread, 7);
+            assert!(buffer_push(&e), "buffer must capture");
+            let drained = ctx.take_buffered();
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].name, "ctx.test");
+            assert!(ctx.take_buffered().is_empty(), "drain is destructive");
+        }
+        assert_eq!(thread_id(), 0);
+        assert_eq!(current_span_path(), None);
+        let e = Event::new("ctx.test", EventKind::Event, Level::Info);
+        assert!(!buffer_push(&e), "no buffer outside the context");
+    }
+}

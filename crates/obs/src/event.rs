@@ -13,8 +13,17 @@
 //!   hierarchical path, e.g. `eadrl.fit/ddpg.episode`;
 //! * `kind` — one of `span`, `event`, `metric`;
 //! * `level` — `error` | `warn` | `info` | `debug` | `trace`;
+//! * `thread` — worker-thread attribution id (omitted when `0`, the
+//!   main/unattributed thread; `eadrl-par` workers carry `1 + worker
+//!   index`), so the profiler can reconstruct one span tree per thread;
 //! * `fields` — flat object of numbers, strings, booleans and numeric
 //!   arrays (e.g. per-step weight vectors).
+//!
+//! Non-finite floats are encoded **losslessly** as the reserved string
+//! sentinels `"NaN"`, `"Infinity"` and `"-Infinity"` (JSON itself has no
+//! such literals) and parse back to the exact special value — including
+//! inside numeric arrays. The sentinels are reserved: a *string* field
+//! whose value is exactly one of them round-trips as the float.
 
 use crate::json::{self, JsonValue};
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -164,30 +173,64 @@ impl From<&[f64]> for Value {
     }
 }
 
+/// String sentinels for the three non-finite floats (see module docs).
+const NAN_SENTINEL: &str = "NaN";
+const INF_SENTINEL: &str = "Infinity";
+const NEG_INF_SENTINEL: &str = "-Infinity";
+
+/// Encodes one float, mapping non-finite values to their sentinels.
+fn f64_to_json(v: f64) -> JsonValue {
+    if v.is_nan() {
+        JsonValue::Str(NAN_SENTINEL.to_string())
+    } else if v == f64::INFINITY {
+        JsonValue::Str(INF_SENTINEL.to_string())
+    } else if v == f64::NEG_INFINITY {
+        JsonValue::Str(NEG_INF_SENTINEL.to_string())
+    } else {
+        JsonValue::Num(v)
+    }
+}
+
+/// Decodes a float from a number, a sentinel string, or a legacy `null`
+/// (traces written before the sentinel encoding).
+fn f64_from_json(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(n) => Some(*n),
+        JsonValue::Str(s) if s == NAN_SENTINEL => Some(f64::NAN),
+        JsonValue::Str(s) if s == INF_SENTINEL => Some(f64::INFINITY),
+        JsonValue::Str(s) if s == NEG_INF_SENTINEL => Some(f64::NEG_INFINITY),
+        JsonValue::Null => Some(f64::NAN),
+        _ => None,
+    }
+}
+
 impl Value {
     fn to_json(&self) -> JsonValue {
         match self {
-            Value::F64(v) => JsonValue::Num(*v),
+            Value::F64(v) => f64_to_json(*v),
             Value::U64(v) => JsonValue::Num(*v as f64),
             Value::I64(v) => JsonValue::Num(*v as f64),
             Value::Bool(v) => JsonValue::Bool(*v),
             Value::Str(v) => JsonValue::Str(v.clone()),
-            Value::F64s(v) => JsonValue::Arr(v.iter().map(|&x| JsonValue::Num(x)).collect()),
+            Value::F64s(v) => JsonValue::Arr(v.iter().map(|&x| f64_to_json(x)).collect()),
         }
     }
 
     fn from_json(v: &JsonValue) -> Option<Value> {
         match v {
-            // Non-finite numbers serialize as null; recover them as NaN.
-            JsonValue::Null => Some(Value::F64(f64::NAN)),
-            JsonValue::Num(n) => Some(Value::F64(*n)),
+            // Sentinel strings decode as the float they stand for; other
+            // strings stay strings.
+            JsonValue::Str(s)
+                if s != NAN_SENTINEL && s != INF_SENTINEL && s != NEG_INF_SENTINEL =>
+            {
+                Some(Value::Str(s.clone()))
+            }
             JsonValue::Bool(b) => Some(Value::Bool(*b)),
-            JsonValue::Str(s) => Some(Value::Str(s.clone())),
             JsonValue::Arr(items) => {
-                let nums: Option<Vec<f64>> = items.iter().map(JsonValue::as_f64).collect();
+                let nums: Option<Vec<f64>> = items.iter().map(f64_from_json).collect();
                 nums.map(Value::F64s)
             }
-            _ => None,
+            other => f64_from_json(other).map(Value::F64),
         }
     }
 }
@@ -203,6 +246,10 @@ pub struct Event {
     pub kind: EventKind,
     /// Severity.
     pub level: Level,
+    /// Worker-thread attribution id: `0` for the main/unattributed
+    /// thread, `1 + worker index` inside `eadrl-par` workers (set
+    /// through [`crate::worker_context`]).
+    pub thread: u64,
     /// Payload fields, in emission order.
     pub fields: Vec<(String, Value)>,
 }
@@ -223,6 +270,7 @@ impl Event {
             name: name.into(),
             kind,
             level,
+            thread: crate::context::thread_id(),
             fields: Vec::new(),
         }
     }
@@ -245,7 +293,9 @@ impl Event {
         self.name == segment || self.name.split('/').any(|part| part == segment)
     }
 
-    /// Serializes to one JSON line (no trailing newline).
+    /// Serializes to one JSON line (no trailing newline). The `thread`
+    /// key is written only when nonzero, so single-threaded traces keep
+    /// the exact pre-profiler wire format.
     pub fn to_json_line(&self) -> String {
         let fields = JsonValue::Obj(
             self.fields
@@ -253,7 +303,7 @@ impl Event {
                 .map(|(k, v)| (k.clone(), v.to_json()))
                 .collect(),
         );
-        JsonValue::Obj(vec![
+        let mut obj = vec![
             ("ts".to_string(), JsonValue::Num(self.ts_us as f64)),
             ("name".to_string(), JsonValue::Str(self.name.clone())),
             (
@@ -264,9 +314,12 @@ impl Event {
                 "level".to_string(),
                 JsonValue::Str(self.level.as_str().to_string()),
             ),
-            ("fields".to_string(), fields),
-        ])
-        .to_json()
+        ];
+        if self.thread != 0 {
+            obj.push(("thread".to_string(), JsonValue::Num(self.thread as f64)));
+        }
+        obj.push(("fields".to_string(), fields));
+        JsonValue::Obj(obj).to_json()
     }
 
     /// Parses an event back from one JSON line. Numeric field values come
@@ -293,6 +346,11 @@ impl Event {
             .and_then(JsonValue::as_str)
             .and_then(Level::parse)
             .ok_or("missing or unknown 'level'")?;
+        let thread = v
+            .get("thread")
+            .map(|t| t.as_f64().ok_or("non-numeric 'thread'"))
+            .transpose()?
+            .unwrap_or(0.0) as u64;
         let mut fields = Vec::new();
         if let Some(JsonValue::Obj(raw)) = v.get("fields") {
             for (k, fv) in raw {
@@ -306,11 +364,14 @@ impl Event {
             name,
             kind,
             level,
+            thread,
             fields,
         })
     }
 
     /// Equality up to JSON's single number type: `U64(3)` equals `F64(3.0)`.
+    /// `NaN` compares equal to `NaN` (scalars and vector elements), so a
+    /// decoded trace line equals what was written.
     pub fn semantically_eq(&self, other: &Event) -> bool {
         fn num(v: &Value) -> Option<f64> {
             match v {
@@ -320,10 +381,14 @@ impl Event {
                 _ => None,
             }
         }
+        fn f64_eq(a: f64, b: f64) -> bool {
+            a == b || (a.is_nan() && b.is_nan())
+        }
         self.ts_us == other.ts_us
             && self.name == other.name
             && self.kind == other.kind
             && self.level == other.level
+            && self.thread == other.thread
             && self.fields.len() == other.fields.len()
             && self
                 .fields
@@ -332,8 +397,14 @@ impl Event {
                 .all(|((ka, va), (kb, vb))| {
                     ka == kb
                         && match (num(va), num(vb)) {
-                            (Some(a), Some(b)) => a == b || (a.is_nan() && b.is_nan()),
-                            _ => va == vb,
+                            (Some(a), Some(b)) => f64_eq(a, b),
+                            _ => match (va, vb) {
+                                (Value::F64s(a), Value::F64s(b)) => {
+                                    a.len() == b.len()
+                                        && a.iter().zip(b.iter()).all(|(&x, &y)| f64_eq(x, y))
+                                }
+                                _ => va == vb,
+                            },
                         }
                 })
     }
@@ -364,6 +435,42 @@ mod tests {
         assert!(e.name_matches("ddpg.episode"));
         assert!(e.name_matches("eadrl.fit"));
         assert!(!e.name_matches("ddpg"));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_losslessly() {
+        let e = Event::new("x.y", EventKind::Event, Level::Info)
+            .field("nan", f64::NAN)
+            .field("inf", f64::INFINITY)
+            .field("ninf", f64::NEG_INFINITY)
+            .field("vec", vec![1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        let line = e.to_json_line();
+        assert!(json::parse(&line).is_ok(), "must stay valid JSON: {line}");
+        let back = Event::from_json_line(&line).expect("round trip");
+        assert!(matches!(back.get("nan"), Some(Value::F64(v)) if v.is_nan()));
+        assert!(matches!(back.get("inf"), Some(Value::F64(v)) if *v == f64::INFINITY));
+        assert!(matches!(back.get("ninf"), Some(Value::F64(v)) if *v == f64::NEG_INFINITY));
+        match back.get("vec") {
+            Some(Value::F64s(v)) => {
+                assert_eq!(v[0], 1.5);
+                assert!(v[1].is_nan());
+                assert_eq!(v[2], f64::INFINITY);
+                assert_eq!(v[3], f64::NEG_INFINITY);
+            }
+            other => panic!("expected F64s, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_id_round_trips_and_is_omitted_when_zero() {
+        let mut e = Event::new("x.y", EventKind::Span, Level::Info);
+        e.thread = 0;
+        assert!(!e.to_json_line().contains("thread"));
+        e.thread = 3;
+        let line = e.to_json_line();
+        assert!(line.contains("\"thread\":3"), "{line}");
+        let back = Event::from_json_line(&line).expect("round trip");
+        assert_eq!(back.thread, 3);
     }
 
     #[test]

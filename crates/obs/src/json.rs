@@ -155,6 +155,9 @@ fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/Infinity; null keeps the line parseable.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // `0.0 as i64` would erase the sign of negative zero.
+        out.push_str("-0");
     } else if n == n.trunc() && n.abs() < 9.0e15 {
         // Integral values (timestamps, counts) print without the ".0"
         // so downstream integer parsers accept them.

@@ -41,15 +41,19 @@
 //! | trace | per-minibatch `ddpg.update` spans |
 
 pub mod config;
+pub mod context;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod schema;
 pub mod sink;
 pub mod span;
 
 pub use config::{ObsConfig, SinkTarget};
+pub use context::{current_span_path, thread_id, worker_context, WorkerContext};
 pub use event::{Event, EventKind, Level, Value};
 pub use metrics::{global_registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use schema::ObsSchema;
 pub use sink::{EventSink, JsonlSink, NoopSink, RingSink};
 pub use span::Span;
 
@@ -149,11 +153,34 @@ pub fn enabled(level: Level) -> bool {
 }
 
 /// Sends an already-built event to the sink if its level is enabled.
+/// Inside a buffering [`worker_context`], the event is captured on the
+/// current thread instead (the pool replays it via [`emit_batch`]).
 pub fn emit(event: Event) {
     if !enabled(event.level) {
         return;
     }
+    if context::buffer_push(&event) {
+        return;
+    }
     obs().sink.read().unwrap().emit(&event);
+}
+
+/// Replays a batch of already-level-checked events (a worker buffer) to
+/// the sink, preserving their order. Called by `eadrl-par` after joining
+/// its workers, one batch per worker in worker-index order. When the
+/// calling thread is itself inside a buffering [`worker_context`] (a
+/// nested pool), the batch lands in that outer buffer instead.
+pub fn emit_batch(events: Vec<Event>) {
+    if events.is_empty() {
+        return;
+    }
+    if context::buffer_extend(&events) {
+        return;
+    }
+    let sink = obs().sink.read().unwrap();
+    for event in &events {
+        sink.emit(event);
+    }
 }
 
 /// Flushes the current sink.
@@ -173,7 +200,7 @@ pub fn event(name: &str, level: Level, fields: &[(&str, Value)]) {
     for (k, v) in fields {
         e = e.field(k, v.clone());
     }
-    obs().sink.read().unwrap().emit(&e);
+    emit(e);
 }
 
 /// Emits a point event whose fields are built lazily — the closure runs
@@ -184,7 +211,7 @@ pub fn event_with(name: &str, level: Level, build: impl FnOnce() -> Vec<(String,
     }
     let mut e = Event::new(name, EventKind::Event, level);
     e.fields = build();
-    obs().sink.read().unwrap().emit(&e);
+    emit(e);
 }
 
 /// Emits a warning event (contract violations, degraded behaviour).

@@ -1,10 +1,11 @@
 //! Event sinks: where emitted events go.
 
-use crate::event::Event;
+use crate::event::{Event, EventKind, Level};
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, LineWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Consumes telemetry events. Implementations must be cheap enough to sit
@@ -26,11 +27,14 @@ impl EventSink for NoopSink {
 }
 
 /// Bounded in-memory sink for tests: keeps the most recent `capacity`
-/// events.
+/// events. Overflow is not silent: evicted events are counted, and
+/// [`RingSink::events`] appends a single synthetic `obs.ring.dropped`
+/// warn event (carrying the count) so a truncated trace says so itself.
 #[derive(Debug)]
 pub struct RingSink {
     capacity: usize,
     buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
 }
 
 impl RingSink {
@@ -43,12 +47,29 @@ impl RingSink {
         RingSink {
             capacity,
             buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
         }
     }
 
-    /// A copy of the stored events, oldest first.
+    /// A copy of the stored events, oldest first. When overflow has
+    /// evicted events, one synthetic `obs.ring.dropped` warn event
+    /// (field `count`) is appended so consumers see the truncation.
     pub fn events(&self) -> Vec<Event> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        let mut events: Vec<Event> = self.buf.lock().unwrap().iter().cloned().collect();
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            events.push(
+                Event::new("obs.ring.dropped", EventKind::Event, Level::Warn)
+                    .field("count", dropped),
+            );
+        }
+        events
+    }
+
+    /// Number of events evicted by overflow since creation (or the last
+    /// [`RingSink::clear`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Stored events whose name (or any span path segment) equals `name`.
@@ -72,9 +93,10 @@ impl RingSink {
         self.buf.lock().unwrap().is_empty()
     }
 
-    /// Drops all stored events.
+    /// Drops all stored events and resets the dropped-event counter.
     pub fn clear(&self) {
         self.buf.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -83,6 +105,7 @@ impl EventSink for RingSink {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.capacity {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(event.clone());
     }
@@ -143,10 +166,33 @@ mod tests {
         sink.emit(&ev("b"));
         sink.emit(&ev("c"));
         let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
-        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(names, vec!["b", "c", "obs.ring.dropped"]);
         assert_eq!(sink.len(), 2);
         sink.clear();
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_reports_overflow() {
+        let sink = RingSink::new(2);
+        sink.emit(&ev("a"));
+        assert_eq!(sink.dropped(), 0);
+        assert!(
+            !sink.events().iter().any(|e| e.name == "obs.ring.dropped"),
+            "no marker without overflow"
+        );
+        sink.emit(&ev("b"));
+        sink.emit(&ev("c"));
+        sink.emit(&ev("d"));
+        assert_eq!(sink.dropped(), 2);
+        let events = sink.events();
+        let marker = events.last().expect("marker present");
+        assert_eq!(marker.name, "obs.ring.dropped");
+        assert_eq!(marker.level, Level::Warn);
+        assert_eq!(marker.get("count"), Some(&crate::Value::from(2u64)));
+        assert_eq!(events.len(), 3, "exactly one marker appended");
+        sink.clear();
+        assert_eq!(sink.dropped(), 0, "clear resets the counter");
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! When the span's level is not enabled, construction is a single atomic
 //! load and nothing else happens.
 
-use crate::event::{Event, EventKind, Level};
+use crate::event::{Event, EventKind, Level, Value};
 use crate::metrics::global_registry;
 use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// The stack of open span paths on this thread. `crate::context`
+    /// pushes a worker's inherited parent path as the base entry.
+    pub(crate) static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A live scoped timer; finishes (and reports) on drop.
@@ -32,6 +34,7 @@ struct SpanInner {
     path: String,
     level: Level,
     start: Instant,
+    fields: Vec<(String, Value)>,
 }
 
 impl Span {
@@ -62,7 +65,17 @@ impl Span {
                 path,
                 level,
                 start: Instant::now(),
+                fields: Vec::new(),
             }),
+        }
+    }
+
+    /// Attaches a payload field to the span's completion event (no-op on
+    /// a disabled span): `span.record("items", n.into())`. Fields follow
+    /// `duration_us` on the wire, in recording order.
+    pub fn record(&mut self, key: &str, value: Value) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key.to_string(), value));
         }
     }
 
@@ -92,9 +105,10 @@ impl Drop for Span {
         global_registry()
             .histogram(&format!("{}.duration_us", inner.leaf))
             .record(duration_us as f64);
-        crate::emit(
-            Event::new(inner.path, EventKind::Span, inner.level).field("duration_us", duration_us),
-        );
+        let mut event =
+            Event::new(inner.path, EventKind::Span, inner.level).field("duration_us", duration_us);
+        event.fields.extend(inner.fields);
+        crate::emit(event);
     }
 }
 

@@ -1,0 +1,127 @@
+//! Property suite for the JSONL wire format: every representable field
+//! value — including the non-finite floats that standard JSON cannot
+//! carry — must survive `to_json_line` → `from_json_line` losslessly.
+
+use eadrl_obs::{Event, EventKind, Level, Value};
+use eadrl_ptest::prelude::*;
+
+/// A float strategy that covers the full pathology: finite values across
+/// many magnitudes, plus `NaN`, `±inf`, signed zero and the subnormal
+/// boundary, each with substantial probability mass.
+fn any_f64(selector: u8, finite: f64, exponent: i32) -> f64 {
+    match selector {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::MIN_POSITIVE,
+        6 => f64::MAX,
+        7 => -f64::MAX,
+        _ => finite * 10f64.powi(exponent),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scalar floats round-trip: the decoded value is bit-identical for
+    /// finite inputs and NaN-for-NaN otherwise, and the emitted line is
+    /// itself valid JSON (parseable by the crate's own parser).
+    #[test]
+    fn scalar_f64_round_trips(
+        selector in 0u8..12,
+        finite in -1e3f64..1e3,
+        exponent in -30i32..30,
+    ) {
+        let v = any_f64(selector, finite, exponent);
+        let event = Event::new("props.scalar", EventKind::Event, Level::Info).field("x", v);
+        let line = event.to_json_line();
+        let back = Event::from_json_line(&line)
+            .unwrap_or_else(|e| panic!("line must parse ({e}): {line}"));
+        prop_assert!(event.semantically_eq(&back), "{v} mangled: {line}");
+        match back.get("x") {
+            Some(Value::F64(got)) => {
+                prop_assert!(
+                    got.to_bits() == v.to_bits() || (got.is_nan() && v.is_nan()),
+                    "decoded {got} from {v}"
+                );
+            }
+            other => prop_assert!(false, "field lost its type: {other:?}"),
+        }
+    }
+
+    /// Vectors mixing finite and non-finite elements round-trip with the
+    /// non-finite elements in their original positions.
+    #[test]
+    fn f64_vector_round_trips(
+        selectors in prop::collection::vec(0u8..12, 0..24),
+        finite in -1e6f64..1e6,
+        exponent in -20i32..20,
+    ) {
+        let values: Vec<f64> = selectors
+            .iter()
+            .map(|&s| any_f64(s, finite, exponent))
+            .collect();
+        let event =
+            Event::new("props.vector", EventKind::Event, Level::Debug).field("xs", values.clone());
+        let line = event.to_json_line();
+        let back = Event::from_json_line(&line)
+            .unwrap_or_else(|e| panic!("line must parse ({e}): {line}"));
+        prop_assert!(event.semantically_eq(&back), "vector mangled: {line}");
+        match back.get("xs") {
+            Some(Value::F64s(got)) => {
+                prop_assert_eq!(got.len(), values.len());
+                for (g, v) in got.iter().zip(values.iter()) {
+                    prop_assert!(
+                        g.to_bits() == v.to_bits() || (g.is_nan() && v.is_nan()),
+                        "decoded {} from {}", g, v
+                    );
+                }
+            }
+            other => prop_assert!(false, "field lost its type: {other:?}"),
+        }
+    }
+
+    /// Full events with mixed field types, any level/kind/thread, and
+    /// adversarial string content survive the round trip.
+    #[test]
+    fn mixed_events_round_trip(
+        level_idx in 0usize..5,
+        kind_idx in 0usize..3,
+        thread in 0u64..9,
+        count in 0u64..1_000_000,
+        flag in 0u8..2,
+        text_bytes in prop::collection::vec(32u8..127, 0..20),
+        selector in 0u8..12,
+        finite in -1e3f64..1e3,
+    ) {
+        let levels = [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+        let kinds = [EventKind::Event, EventKind::Span, EventKind::Metric];
+        let text: String = text_bytes.iter().map(|&b| b as char).collect();
+        let mut event = Event::new("props.mixed", kinds[kind_idx], levels[level_idx])
+            .field("n", count)
+            .field("flag", flag == 1)
+            .field("s", text.as_str())
+            .field("x", any_f64(selector, finite, 0));
+        event.thread = thread;
+        let line = event.to_json_line();
+        let back = Event::from_json_line(&line)
+            .unwrap_or_else(|e| panic!("line must parse ({e}): {line}"));
+        prop_assert!(event.semantically_eq(&back), "event mangled: {line}");
+        prop_assert_eq!(back.thread, thread);
+    }
+
+    /// The three sentinel strings are reserved: a `Value::Str` carrying
+    /// one of them decodes as the float — the documented, deliberate
+    /// collision — while every other string stays a string.
+    #[test]
+    fn non_sentinel_strings_stay_strings(text_bytes in prop::collection::vec(97u8..123, 1..12)) {
+        let text: String = text_bytes.iter().map(|&b| b as char).collect();
+        prop_assume!(text != "NaN" && text != "Infinity" && text != "-Infinity");
+        let event = Event::new("props.text", EventKind::Event, Level::Info)
+            .field("s", text.as_str());
+        let back = Event::from_json_line(&event.to_json_line()).expect("parses");
+        prop_assert_eq!(back.get("s"), Some(&Value::Str(text)));
+    }
+}

@@ -50,11 +50,22 @@
 //!
 //! ## Telemetry
 //!
-//! Each call emits `par.map` (debug: `items`, `workers`, `chunk`), each
-//! worker emits `par.worker` (trace: `worker`, `items`,
-//! `queue_wait_us` — the spawn-to-start latency), and a contained panic
-//! emits `par.panic` (warn: `index`). Counters `par.maps_total` /
-//! `par.tasks_total` accumulate in the global registry.
+//! Each call opens a `par.map` span (debug: `items`, `workers`,
+//! `chunk`); each worker runs its chunk inside a `par.worker` span
+//! (debug: `worker`, `items`, `queue_wait_us` — the spawn-to-start
+//! latency), and a contained panic emits `par.panic` (warn: `index`).
+//! Counters `par.maps_total` / `par.tasks_total` accumulate in the
+//! global registry.
+//!
+//! Worker telemetry is **deterministically ordered**: every worker runs
+//! under an [`eadrl_obs::worker_context`] that (a) stamps its events
+//! with `thread = 1 + worker index`, (b) inherits the caller's span
+//! path so worker spans nest under `par.map` instead of becoming
+//! orphaned roots, and (c) buffers events thread-locally. After the
+//! join, buffers are flushed in worker-index order — since chunks are
+//! contiguous and ascending, the flushed trace is ordered exactly like
+//! the serial one, at every thread count. The serial fallback runs the
+//! identical context + buffer path inline.
 
 use eadrl_obs::Level;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -189,21 +200,20 @@ where
 {
     let n = items.len();
     let workers = threads.clamp(1, n.max(1));
-    let _span = eadrl_obs::span_at(Level::Debug, "par.map");
+    let mut span = eadrl_obs::span_at(Level::Debug, "par.map");
+    span.record("items", n.into());
+    span.record("workers", workers.into());
+    span.record("chunk", n.div_ceil(workers.max(1)).into());
     eadrl_obs::counter("par.maps_total").inc();
     eadrl_obs::counter("par.tasks_total").add(n as u64);
-    eadrl_obs::event(
-        "par.map",
-        Level::Debug,
-        &[
-            ("items", n.into()),
-            ("workers", workers.into()),
-            ("chunk", n.div_ceil(workers.max(1)).into()),
-        ],
-    );
     if n == 0 {
         return Ok(Vec::new());
     }
+    // Captured once, before any worker runs: the span path workers
+    // inherit (so their spans nest here identically at every thread
+    // count) and whether their telemetry should be buffered at all.
+    let parent_path = eadrl_obs::current_span_path();
+    let buffer = eadrl_obs::level().is_some();
 
     // Static contiguous chunking: worker w owns items
     // [w*base + min(w, extra) ..], sizes differing by at most one.
@@ -218,37 +228,57 @@ where
     }
 
     let outcomes: Vec<ChunkOutcome<R>> = if workers == 1 {
-        // Serial fallback: the identical per-chunk code path, run
-        // inline — no spawn, same containment and merge semantics.
+        // Serial fallback: the identical per-chunk code path (context,
+        // buffering, span, containment), run inline — no spawn.
         chunks
             .into_iter()
             .enumerate()
-            .map(|(w, chunk)| run_chunk(w, chunk, &f, None))
+            .map(|(w, chunk)| {
+                let (outcome, events) =
+                    run_chunk(w, chunk, &f, None, parent_path.as_deref(), buffer);
+                eadrl_obs::emit_batch(events);
+                outcome
+            })
             .collect()
     } else {
-        // Trace-gated so the clock is never read when telemetry is off
+        // Debug-gated so the clock is never read when telemetry is off
         // (which also keeps this crate runnable under Miri isolation).
         // eadrl-lint: allow(determinism): queue-wait telemetry only — the timestamp never reaches a result
-        let spawned_at = eadrl_obs::enabled(Level::Trace).then(std::time::Instant::now);
-        std::thread::scope(|scope| {
+        let spawned_at = eadrl_obs::enabled(Level::Debug).then(std::time::Instant::now);
+        let batches: Vec<(ChunkOutcome<R>, Vec<eadrl_obs::Event>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .enumerate()
                 .map(|(w, chunk)| {
                     let f = &f;
-                    scope.spawn(move || run_chunk(w, chunk, f, spawned_at))
+                    let parent = parent_path.as_deref();
+                    scope.spawn(move || run_chunk(w, chunk, f, spawned_at, parent, buffer))
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| {
-                    h.join().unwrap_or_else(|_| ChunkOutcome {
-                        results: Vec::new(),
-                        panic: None,
+                    h.join().unwrap_or_else(|_| {
+                        (
+                            ChunkOutcome {
+                                results: Vec::new(),
+                                panic: None,
+                            },
+                            Vec::new(),
+                        )
                     })
                 })
                 .collect()
-        })
+        });
+        // Flush worker buffers in worker-index order: chunks are
+        // contiguous ascending, so this equals the serial trace order.
+        batches
+            .into_iter()
+            .map(|(outcome, events)| {
+                eadrl_obs::emit_batch(events);
+                outcome
+            })
+            .collect()
     };
 
     // Merge strictly by input index. Chunks are contiguous and ordered,
@@ -288,28 +318,41 @@ struct ChunkOutcome<R> {
     panic: Option<(usize, String)>,
 }
 
+/// Runs one worker's chunk inside an [`eadrl_obs::worker_context`] and a
+/// `par.worker` span, returning the outcome plus the worker's buffered
+/// telemetry (empty when `buffer` is off). A contained item panic still
+/// returns the buffer — the trace up to the failure is kept.
 fn run_chunk<T, R, F>(
     worker: usize,
     chunk: Vec<(usize, T)>,
     f: &F,
     spawned_at: Option<std::time::Instant>,
-) -> ChunkOutcome<R>
+    parent_path: Option<&str>,
+    buffer: bool,
+) -> (ChunkOutcome<R>, Vec<eadrl_obs::Event>)
 where
     F: Fn(usize, T) -> R,
 {
-    if eadrl_obs::enabled(Level::Trace) {
-        // eadrl-lint: allow(determinism): queue-wait telemetry only — gated on trace level, never in results
-        let queue_wait_us = spawned_at.map_or(0, |t| t.elapsed().as_micros() as u64);
-        eadrl_obs::event(
-            "par.worker",
-            Level::Trace,
-            &[
-                ("worker", worker.into()),
-                ("items", chunk.len().into()),
-                ("queue_wait_us", queue_wait_us.into()),
-            ],
-        );
-    }
+    let mut ctx = eadrl_obs::worker_context(worker as u64 + 1, parent_path, buffer);
+    let outcome = {
+        let mut span = eadrl_obs::span_at(Level::Debug, "par.worker");
+        span.record("worker", worker.into());
+        span.record("items", chunk.len().into());
+        if span.is_recording() {
+            // eadrl-lint: allow(determinism): queue-wait telemetry only — gated on debug level, never in results
+            let queue_wait_us = spawned_at.map_or(0, |t| t.elapsed().as_micros() as u64);
+            span.record("queue_wait_us", queue_wait_us.into());
+        }
+        run_items(chunk, f)
+    };
+    let events = ctx.take_buffered();
+    (outcome, events)
+}
+
+fn run_items<T, R, F>(chunk: Vec<(usize, T)>, f: &F) -> ChunkOutcome<R>
+where
+    F: Fn(usize, T) -> R,
+{
     let mut results = Vec::with_capacity(chunk.len());
     for (index, item) in chunk {
         match catch_unwind(AssertUnwindSafe(|| f(index, item))) {

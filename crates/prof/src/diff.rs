@@ -1,0 +1,220 @@
+//! Trace-to-trace latency diff — the CI regression gate.
+//!
+//! Compares per-path **total time** between a baseline tree and a new
+//! tree. A path regresses when `new / base > threshold` (e.g. 1.15 for
+//! "15% slower"). Two noise defenses keep the gate honest on real CI
+//! machines:
+//!
+//! * a **minimum-microseconds floor**: paths where both sides are below
+//!   `min_us` are skipped outright — a 3µs span doubling to 6µs is
+//!   scheduler jitter, not a regression;
+//! * paths present only in the new trace count as regressions **only**
+//!   above the floor (new instrumentation of something cheap should
+//!   not fail the build; a brand-new hot path should).
+//!
+//! Paths that vanished from the new trace are reported (ratio 0) but
+//! never regress — removed work is not a slowdown.
+
+use crate::tree::SpanTree;
+
+/// Tuning for [`DiffReport::compare`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Regression threshold on `new / base` total time. 1.15 = fail
+    /// when a path got more than 15% slower.
+    pub threshold: f64,
+    /// Noise floor, µs: paths below it on both sides are skipped.
+    pub min_us: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            threshold: 1.15,
+            min_us: 100,
+        }
+    }
+}
+
+/// One compared path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathDelta {
+    /// Full span path.
+    pub path: String,
+    /// Baseline total, µs (0 when the path is new).
+    pub base_total_us: u64,
+    /// New total, µs (0 when the path vanished).
+    pub new_total_us: u64,
+    /// Baseline call count.
+    pub base_count: u64,
+    /// New call count.
+    pub new_count: u64,
+    /// `new / base`; infinity for new paths, 0.0 for vanished ones.
+    pub ratio: f64,
+    /// True when this path fails the gate.
+    pub regressed: bool,
+}
+
+/// The full comparison, every surviving path in deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-path deltas in the baseline tree's DFS order, with
+    /// new-only paths appended in the new tree's order.
+    pub deltas: Vec<PathDelta>,
+    /// Threshold the report was computed with.
+    pub threshold: f64,
+    /// Noise floor the report was computed with.
+    pub min_us: u64,
+}
+
+impl DiffReport {
+    /// Compares two trees path by path.
+    pub fn compare(base: &SpanTree, new: &SpanTree, options: &DiffOptions) -> DiffReport {
+        let mut report = DiffReport {
+            deltas: Vec::new(),
+            threshold: options.threshold,
+            min_us: options.min_us,
+        };
+        for b in &base.nodes {
+            let n = new.get(&b.path);
+            let new_total = n.map_or(0, |n| n.total_us);
+            if b.total_us < options.min_us && new_total < options.min_us {
+                continue;
+            }
+            let ratio = if b.total_us > 0 {
+                new_total as f64 / b.total_us as f64
+            } else if new_total > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            report.deltas.push(PathDelta {
+                path: b.path.clone(),
+                base_total_us: b.total_us,
+                new_total_us: new_total,
+                base_count: b.count,
+                new_count: n.map_or(0, |n| n.count),
+                ratio,
+                regressed: ratio > options.threshold && new_total >= options.min_us,
+            });
+        }
+        for n in &new.nodes {
+            if base.get(&n.path).is_some() || n.total_us < options.min_us {
+                continue;
+            }
+            report.deltas.push(PathDelta {
+                path: n.path.clone(),
+                base_total_us: 0,
+                new_total_us: n.total_us,
+                base_count: 0,
+                new_count: n.count,
+                ratio: f64::INFINITY,
+                regressed: true,
+            });
+        }
+        report
+    }
+
+    /// The regressed deltas, worst ratio first.
+    pub fn regressions(&self) -> Vec<&PathDelta> {
+        let mut out: Vec<&PathDelta> = self.deltas.iter().filter(|d| d.regressed).collect();
+        out.sort_by(|a, b| {
+            b.ratio
+                .total_cmp(&a.ratio)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        out
+    }
+
+    /// True when any path fails the gate — the CI exit condition.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use crate::tree::TreeOptions;
+    use eadrl_obs::{Event, EventKind, Level};
+
+    fn span(path: &str, us: u64) -> String {
+        Event::new(path, EventKind::Span, Level::Info)
+            .field("duration_us", us)
+            .to_json_line()
+    }
+
+    fn tree_of(lines: &[String]) -> SpanTree {
+        SpanTree::build(
+            &Trace::from_jsonl(&lines.join("\n")),
+            &TreeOptions::default(),
+        )
+    }
+
+    #[test]
+    fn identical_traces_never_regress() {
+        let lines = [span("fit/train", 4000), span("fit", 5000)];
+        let report =
+            DiffReport::compare(&tree_of(&lines), &tree_of(&lines), &DiffOptions::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.deltas.len(), 2);
+        assert!(report.deltas.iter().all(|d| d.ratio == 1.0));
+    }
+
+    #[test]
+    fn doubled_path_fails_and_is_ranked_worst_first() {
+        let base = tree_of(&[
+            span("fit/train", 4000),
+            span("fit/eval", 1000),
+            span("fit", 5200),
+        ]);
+        let slow = tree_of(&[
+            span("fit/train", 8000),
+            span("fit/eval", 1300),
+            span("fit", 9500),
+        ]);
+        let report = DiffReport::compare(&base, &slow, &DiffOptions::default());
+        assert!(report.has_regressions());
+        let regressed = report.regressions();
+        assert_eq!(regressed[0].path, "fit/train");
+        assert!((regressed[0].ratio - 2.0).abs() < 1e-12);
+        // eval grew 30% > 15% threshold: also a regression.
+        assert!(regressed.iter().any(|d| d.path == "fit/eval"));
+    }
+
+    #[test]
+    fn noise_floor_skips_tiny_paths_and_new_cheap_paths() {
+        let base = tree_of(&[span("fit/tiny", 3), span("fit", 5000)]);
+        let new = tree_of(&[
+            span("fit/tiny", 9),
+            span("fit/extra", 20),
+            span("fit", 5000),
+        ]);
+        let report = DiffReport::compare(&base, &new, &DiffOptions::default());
+        // tiny tripled but is under the 100µs floor on both sides;
+        // extra is new but cheap. Neither fails, neither is listed.
+        assert!(!report.has_regressions());
+        assert!(report.deltas.iter().all(|d| d.path == "fit"));
+    }
+
+    #[test]
+    fn new_hot_path_and_vanished_path_are_handled() {
+        let base = tree_of(&[span("fit/old", 2000), span("fit", 5000)]);
+        let new = tree_of(&[span("fit/hot.new", 3000), span("fit", 5000)]);
+        let report = DiffReport::compare(&base, &new, &DiffOptions::default());
+        let hot = report
+            .deltas
+            .iter()
+            .find(|d| d.path == "fit/hot.new")
+            .expect("hot");
+        assert!(hot.regressed && hot.ratio.is_infinite());
+        let old = report
+            .deltas
+            .iter()
+            .find(|d| d.path == "fit/old")
+            .expect("old");
+        assert!(!old.regressed);
+        assert_eq!((old.new_total_us, old.ratio), (0, 0.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Folded-stack flamegraph export.
+//!
+//! One line per span-tree node with nonzero self time, in the
+//! `path;path;leaf count` format consumed by Brendan Gregg's
+//! `flamegraph.pl` and by speedscope's "folded" importer. Counts are
+//! self-time microseconds, so frame widths are directly attributed
+//! time — totals are implied by summing descendants, exactly as
+//! flamegraph tooling expects.
+
+use crate::tree::SpanTree;
+
+/// Renders the tree as folded stacks (deterministic DFS order).
+///
+/// Nodes with zero self time are skipped: their time is entirely in
+/// their children, and flamegraph tools reconstruct such frames from
+/// the children's stack prefixes anyway. `open` nodes (no close event)
+/// never have self time and are skipped with them.
+pub fn folded(tree: &SpanTree) -> String {
+    let mut out = String::new();
+    for node in &tree.nodes {
+        if node.self_us == 0 {
+            continue;
+        }
+        out.push_str(&node.path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&node.self_us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use crate::tree::TreeOptions;
+    use eadrl_obs::{Event, EventKind, Level};
+
+    fn span(path: &str, us: u64) -> String {
+        Event::new(path, EventKind::Span, Level::Info)
+            .field("duration_us", us)
+            .to_json_line()
+    }
+
+    #[test]
+    fn folds_self_time_and_skips_pass_through_frames() {
+        let text = [
+            span("fit/train.step", 40),
+            span("fit/train.step", 20),
+            span("fit/eval.pass", 60),
+            span("fit", 100),
+        ]
+        .join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let folded = folded(&tree);
+        // fit has 100 - 60 - 60 = -20 → clamped 0 → skipped; leaves keep
+        // their own time with '/' → ';'.
+        assert_eq!(folded, "fit;eval.pass 60\nfit;train.step 60\n");
+    }
+}

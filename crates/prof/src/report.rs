@@ -1,0 +1,325 @@
+//! Report rendering: plain text for humans, JSON for machines.
+//!
+//! All output is deterministic given the same trace — rows follow the
+//! tree's DFS order, floats print with fixed precision — so reports
+//! can be diffed, committed as goldens, and compared across
+//! `EADRL_PAR_THREADS` settings.
+
+use crate::diff::DiffReport;
+use crate::trace::Trace;
+use crate::tree::{SpanNode, SpanTree};
+use crate::workers::Utilization;
+use eadrl_obs::json::JsonValue;
+use std::fmt::Write as _;
+
+fn flags_of(node: &SpanNode) -> &'static str {
+    match (node.open, node.overlap) {
+        (true, _) => "open",
+        (false, true) => "overlap",
+        (false, false) => "",
+    }
+}
+
+/// Header lines describing what the loader had to tolerate.
+fn trace_header(trace: &Trace, out: &mut String) {
+    let _ = writeln!(out, "events: {}", trace.events.len());
+    if !trace.bad_lines.is_empty() {
+        let _ = writeln!(
+            out,
+            "damaged lines: {} (first at line {})",
+            trace.bad_lines.len(),
+            trace.bad_lines[0].0
+        );
+    }
+    if let Some(dropped) = trace.ring_dropped {
+        let _ = writeln!(out, "ring-dropped events: {dropped} (trace is incomplete)");
+    }
+}
+
+/// The span-tree report: one indented row per path, DFS order.
+pub fn tree_text(tree: &SpanTree, trace: &Trace) -> String {
+    let mut out = String::new();
+    trace_header(trace, &mut out);
+    let _ = writeln!(
+        out,
+        "{:<52} {:>7} {:>10} {:>10} {:>8} {:>8} {:>8}  flags",
+        "path", "count", "total_us", "self_us", "p50", "p95", "p99"
+    );
+    for node in &tree.nodes {
+        let label = format!(
+            "{}{}",
+            "  ".repeat(node.depth),
+            node.path.rsplit('/').next().unwrap_or(&node.path)
+        );
+        let _ = writeln!(
+            out,
+            "{label:<52} {:>7} {:>10} {:>10} {:>8} {:>8} {:>8}  {}",
+            node.count,
+            node.total_us,
+            node.self_us,
+            node.p50_us,
+            node.p95_us,
+            node.p99_us,
+            flags_of(node)
+        );
+    }
+    out
+}
+
+/// Top-N hotspots by self time, worst first (ties break by path).
+pub fn hotspots_text(tree: &SpanTree, top: usize) -> String {
+    let mut nodes: Vec<&SpanNode> = tree.nodes.iter().filter(|n| n.self_us > 0).collect();
+    nodes.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+    let mut out = String::new();
+    let _ = writeln!(out, "top {} by self time:", top.min(nodes.len()));
+    for node in nodes.into_iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{:>10}us  {}  (count {})",
+            node.self_us, node.path, node.count
+        );
+    }
+    out
+}
+
+fn node_json(node: &SpanNode) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("path".into(), node.path.as_str().into()),
+        ("depth".into(), node.depth.into()),
+        ("count".into(), node.count.into()),
+        ("total_us".into(), node.total_us.into()),
+        ("self_us".into(), node.self_us.into()),
+        ("p50_us".into(), node.p50_us.into()),
+        ("p95_us".into(), node.p95_us.into()),
+        ("p99_us".into(), node.p99_us.into()),
+        ("open".into(), node.open.into()),
+        ("overlap".into(), node.overlap.into()),
+    ])
+}
+
+/// The span-tree report as one JSON document.
+pub fn tree_json(tree: &SpanTree, trace: &Trace) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("events".into(), trace.events.len().into()),
+        ("damaged_lines".into(), trace.bad_lines.len().into()),
+        (
+            "ring_dropped".into(),
+            trace.ring_dropped.map_or(JsonValue::Null, |d| d.into()),
+        ),
+        (
+            "nodes".into(),
+            JsonValue::Arr(tree.nodes.iter().map(node_json).collect()),
+        ),
+    ])
+}
+
+/// Two-decimal fixed formatting: deterministic across platforms.
+fn fixed2(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// The worker-utilization report as text.
+pub fn workers_text(util: &Utilization) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>7} {:>8} {:>10} {:>14}",
+        "worker", "chunks", "items", "busy_us", "queue_wait_us"
+    );
+    for w in &util.workers {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>7} {:>8} {:>10} {:>14}",
+            w.worker, w.chunks, w.items, w.busy_us, w.queue_wait_us
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total busy: {}us over {} items",
+        util.total_busy_us(),
+        util.total_items()
+    );
+    let _ = writeln!(
+        out,
+        "imbalance ratio (max/mean busy): {}",
+        fixed2(util.imbalance_ratio())
+    );
+    let _ = writeln!(
+        out,
+        "item skew (max/mean items): {}",
+        fixed2(util.item_skew())
+    );
+    out
+}
+
+/// The worker-utilization report as JSON.
+pub fn workers_json(util: &Utilization) -> JsonValue {
+    JsonValue::Obj(vec![
+        (
+            "workers".into(),
+            JsonValue::Arr(
+                util.workers
+                    .iter()
+                    .map(|w| {
+                        JsonValue::Obj(vec![
+                            ("worker".into(), w.worker.into()),
+                            ("chunks".into(), w.chunks.into()),
+                            ("items".into(), w.items.into()),
+                            ("busy_us".into(), w.busy_us.into()),
+                            ("queue_wait_us".into(), w.queue_wait_us.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_busy_us".into(), util.total_busy_us().into()),
+        ("total_items".into(), util.total_items().into()),
+        ("imbalance_ratio".into(), util.imbalance_ratio().into()),
+        ("item_skew".into(), util.item_skew().into()),
+    ])
+}
+
+/// The latency diff as text: every compared path, regressions marked.
+pub fn diff_text(report: &DiffReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "threshold: {}x, noise floor: {}us",
+        fixed2(report.threshold),
+        report.min_us
+    );
+    let _ = writeln!(
+        out,
+        "{:<52} {:>10} {:>10} {:>8}  verdict",
+        "path", "base_us", "new_us", "ratio"
+    );
+    for d in &report.deltas {
+        let _ = writeln!(
+            out,
+            "{:<52} {:>10} {:>10} {:>8}  {}",
+            d.path,
+            d.base_total_us,
+            d.new_total_us,
+            fixed2(d.ratio),
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        let _ = writeln!(out, "no regressions");
+    } else {
+        let _ = writeln!(out, "{} regression(s), worst first:", regressions.len());
+        for d in regressions {
+            let _ = writeln!(out, "  {}x  {}", fixed2(d.ratio), d.path);
+        }
+    }
+    out
+}
+
+/// The latency diff as JSON.
+pub fn diff_json(report: &DiffReport) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("threshold".into(), report.threshold.into()),
+        ("min_us".into(), report.min_us.into()),
+        ("regressed".into(), report.has_regressions().into()),
+        (
+            "deltas".into(),
+            JsonValue::Arr(
+                report
+                    .deltas
+                    .iter()
+                    .map(|d| {
+                        JsonValue::Obj(vec![
+                            ("path".into(), d.path.as_str().into()),
+                            ("base_total_us".into(), d.base_total_us.into()),
+                            ("new_total_us".into(), d.new_total_us.into()),
+                            ("base_count".into(), d.base_count.into()),
+                            ("new_count".into(), d.new_count.into()),
+                            // infinity is not JSON; ratio of a new path
+                            // renders as null.
+                            (
+                                "ratio".into(),
+                                if d.ratio.is_finite() {
+                                    d.ratio.into()
+                                } else {
+                                    JsonValue::Null
+                                },
+                            ),
+                            ("regressed".into(), d.regressed.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::DiffOptions;
+    use crate::tree::TreeOptions;
+    use eadrl_obs::{Event, EventKind, Level};
+
+    fn sample_trace() -> Trace {
+        let lines = [
+            Event::new("fit/train.step", EventKind::Span, Level::Info)
+                .field("duration_us", 700u64)
+                .to_json_line(),
+            Event::new("fit", EventKind::Span, Level::Info)
+                .field("duration_us", 1000u64)
+                .to_json_line(),
+        ];
+        Trace::from_jsonl(&lines.join("\n"))
+    }
+
+    #[test]
+    fn text_report_is_deterministic_and_indented() {
+        let trace = sample_trace();
+        let tree = SpanTree::build(&trace, &TreeOptions::default());
+        let a = tree_text(&tree, &trace);
+        let b = tree_text(&tree, &trace);
+        assert_eq!(a, b);
+        assert!(a.contains("events: 2"));
+        assert!(
+            a.contains("\n  train.step"),
+            "child row indents under parent:\n{a}"
+        );
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_the_numbers() {
+        let trace = sample_trace();
+        let tree = SpanTree::build(&trace, &TreeOptions::default());
+        let doc = eadrl_obs::json::parse(&tree_json(&tree, &trace).to_json()).expect("valid JSON");
+        let nodes = doc.get("nodes").and_then(JsonValue::as_arr).expect("nodes");
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(
+            nodes[0].get("path").and_then(JsonValue::as_str),
+            Some("fit")
+        );
+        assert_eq!(
+            nodes[0].get("self_us").and_then(JsonValue::as_f64),
+            Some(300.0)
+        );
+    }
+
+    #[test]
+    fn diff_json_renders_infinite_ratio_as_null() {
+        let base = SpanTree::build(&Trace::from_jsonl(""), &TreeOptions::default());
+        let trace = sample_trace();
+        let new = SpanTree::build(&trace, &TreeOptions::default());
+        let report = DiffReport::compare(&base, &new, &DiffOptions::default());
+        let doc = eadrl_obs::json::parse(&diff_json(&report).to_json()).expect("valid JSON");
+        let deltas = doc
+            .get("deltas")
+            .and_then(JsonValue::as_arr)
+            .expect("deltas");
+        assert!(!deltas.is_empty());
+        assert_eq!(deltas[0].get("ratio"), Some(&JsonValue::Null));
+    }
+}

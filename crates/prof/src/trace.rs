@@ -1,0 +1,108 @@
+//! Trace loading: JSONL text → events, tolerant of real-world damage.
+//!
+//! A trace from a killed process can end in a half-written line, and a
+//! `RingSink`-captured trace can carry an `obs.ring.dropped` truncation
+//! marker. Loading never fails on those: damaged trailing lines are
+//! counted, the marker is surfaced, and analysis proceeds on what
+//! survives — a profiler that refuses truncated traces can't profile
+//! crashes.
+
+use eadrl_obs::Event;
+
+/// A loaded trace: parsed events plus everything the loader had to
+/// tolerate to get them.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Parsed events, in file order.
+    pub events: Vec<Event>,
+    /// Lines that failed to parse (line number, error). A single
+    /// *trailing* bad line is the signature of a killed writer; bad
+    /// lines elsewhere usually mean the file isn't a trace at all.
+    pub bad_lines: Vec<(usize, String)>,
+    /// Count carried by an `obs.ring.dropped` marker, if present: the
+    /// trace's own record that its ring buffer evicted events.
+    pub ring_dropped: Option<u64>,
+}
+
+impl Trace {
+    /// Parses a trace from JSONL text. Never fails: unparseable lines
+    /// land in [`Trace::bad_lines`].
+    pub fn from_jsonl(text: &str) -> Trace {
+        let mut trace = Trace::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Event::from_json_line(line) {
+                Ok(event) => {
+                    if event.name == "obs.ring.dropped" {
+                        let count = match event.get("count") {
+                            Some(eadrl_obs::Value::U64(c)) => *c,
+                            Some(eadrl_obs::Value::F64(c)) => *c as u64,
+                            _ => 0,
+                        };
+                        trace.ring_dropped =
+                            Some(trace.ring_dropped.unwrap_or(0).saturating_add(count));
+                    }
+                    trace.events.push(event);
+                }
+                Err(err) => trace.bad_lines.push((lineno + 1, err)),
+            }
+        }
+        trace
+    }
+
+    /// Loads a trace from a file.
+    ///
+    /// # Errors
+    /// When the file cannot be read (damaged *content* is tolerated and
+    /// reported through [`Trace::bad_lines`] instead).
+    pub fn load(path: &std::path::Path) -> Result<Trace, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(Trace::from_jsonl(&text))
+    }
+
+    /// True when the trace is self-described as incomplete: ring
+    /// overflow or damaged lines.
+    pub fn is_truncated(&self) -> bool {
+        self.ring_dropped.is_some() || !self.bad_lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadrl_obs::{EventKind, Level};
+
+    #[test]
+    fn damaged_trailing_line_is_tolerated() {
+        let good = Event::new("a.b", EventKind::Span, Level::Info)
+            .field("duration_us", 5u64)
+            .to_json_line();
+        let text = format!("{good}\n{good}\n{{\"ts\": 12, \"na");
+        let trace = Trace::from_jsonl(&text);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.bad_lines.len(), 1);
+        assert_eq!(trace.bad_lines[0].0, 3);
+        assert!(trace.is_truncated());
+    }
+
+    #[test]
+    fn ring_dropped_marker_is_surfaced() {
+        let marker = Event::new("obs.ring.dropped", EventKind::Event, Level::Warn)
+            .field("count", 17u64)
+            .to_json_line();
+        let trace = Trace::from_jsonl(&marker);
+        assert_eq!(trace.ring_dropped, Some(17));
+        assert!(trace.is_truncated());
+    }
+
+    #[test]
+    fn empty_and_blank_input_yield_empty_trace() {
+        assert!(Trace::from_jsonl("").events.is_empty());
+        let trace = Trace::from_jsonl("\n  \n\n");
+        assert!(trace.events.is_empty() && trace.bad_lines.is_empty());
+        assert!(!trace.is_truncated());
+    }
+}

@@ -1,0 +1,305 @@
+//! Span-tree reconstruction and time attribution.
+//!
+//! Span events carry their full `/`-joined path at close time, so the
+//! tree is a trie over path segments — no begin/end pairing is needed
+//! and interleaved threads cannot corrupt it (equal paths from
+//! different threads aggregate into one node, which is exactly the
+//! cross-thread attribution a profile wants).
+//!
+//! Per node: call count, **total time** (sum of span durations),
+//! **self time** (total minus direct children's totals), and
+//! nearest-rank p50/p95/p99 over the individual durations. Two
+//! honest-profile flags:
+//!
+//! * `open` — the path only ever appeared as a prefix of deeper spans:
+//!   its own close event is missing (process killed mid-span, or the
+//!   ring buffer evicted it). Totals for it are unknown, not zero.
+//! * `overlap` — direct children's summed total exceeds the node's own
+//!   total. Under `eadrl-par` that is *expected*: workers run
+//!   concurrently, so their busy time can exceed the parent's
+//!   wall-clock. Self time clamps to zero rather than going negative.
+//!
+//! [`TreeOptions::collapse`] elides segments by name: spans *of* an
+//! elided name are dropped (their per-chunk counts and overlapping
+//! busy time are thread-count-dependent) and deeper descendants are
+//! re-parented past the segment. Collapsing `par.worker` makes the
+//! tree **shape** independent of `EADRL_PAR_THREADS` — worker-chunk
+//! spans are the one place where the span *count* is a function of the
+//! thread count.
+
+use crate::trace::Trace;
+use eadrl_obs::EventKind;
+use std::collections::BTreeMap;
+
+/// Options for [`SpanTree::build`].
+#[derive(Debug, Clone, Default)]
+pub struct TreeOptions {
+    /// Leaf segment names to elide from every path (see module docs).
+    pub collapse: Vec<String>,
+}
+
+impl TreeOptions {
+    /// The options that make tree shape thread-count-independent:
+    /// collapse `par.worker` (chunk-per-worker spans).
+    pub fn shape_stable() -> TreeOptions {
+        TreeOptions {
+            collapse: vec!["par.worker".to_string()],
+        }
+    }
+}
+
+/// One aggregated node of the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Full `/`-joined path.
+    pub path: String,
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+    /// Number of closed spans at this path.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: u64,
+    /// Total minus direct children's totals, clamped at zero, µs.
+    pub self_us: u64,
+    /// Children's summed total exceeded this node's total (parallel
+    /// children, or an `open` node with unknown total).
+    pub overlap: bool,
+    /// No close event for this path — it exists only as a prefix of
+    /// deeper spans (truncated trace).
+    pub open: bool,
+    /// Nearest-rank percentiles over individual durations, µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+}
+
+/// The reconstructed, aggregated span tree in depth-first (pre-)order.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// Nodes in DFS order: every parent precedes its children.
+    pub nodes: Vec<SpanNode>,
+}
+
+fn duration_of(event: &eadrl_obs::Event) -> u64 {
+    match event.get("duration_us") {
+        Some(eadrl_obs::Value::U64(d)) => *d,
+        Some(eadrl_obs::Value::F64(d)) => *d as u64,
+        _ => 0,
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl SpanTree {
+    /// Builds the aggregated tree from a trace's span events.
+    pub fn build(trace: &Trace, options: &TreeOptions) -> SpanTree {
+        // Keyed by segment vector so ordering is segment-wise: parents
+        // (prefixes) sort before children, and siblings group together
+        // even when one sibling's name is a string-prefix of another's.
+        let mut durations: BTreeMap<Vec<String>, Vec<u64>> = BTreeMap::new();
+        for event in &trace.events {
+            if event.kind != EventKind::Span {
+                continue;
+            }
+            let raw: Vec<&str> = event.name.split('/').collect();
+            // A span whose own leaf is collapsed is dropped outright:
+            // its measurements (count, duration) are per-chunk and
+            // thread-count-dependent, and its busy time overlaps the
+            // parent's wall-clock rather than adding to it.
+            if raw
+                .last()
+                .is_some_and(|leaf| options.collapse.iter().any(|c| c == leaf))
+            {
+                continue;
+            }
+            let segments: Vec<String> = raw
+                .into_iter()
+                .filter(|seg| !options.collapse.iter().any(|c| c == seg))
+                .map(str::to_string)
+                .collect();
+            if segments.is_empty() {
+                continue;
+            }
+            durations
+                .entry(segments)
+                .or_default()
+                .push(duration_of(event));
+        }
+
+        // Synthesize prefix nodes for paths whose own close event is
+        // missing, so the tree stays connected on truncated traces.
+        let prefixes: Vec<Vec<String>> = durations
+            .keys()
+            .flat_map(|segs| (1..segs.len()).map(|k| segs[..k].to_vec()))
+            .collect();
+        for prefix in prefixes {
+            durations.entry(prefix).or_default();
+        }
+
+        // Direct-children totals, for self time.
+        let totals: BTreeMap<&[String], u64> = durations
+            .iter()
+            .map(|(segs, ds)| (segs.as_slice(), ds.iter().sum()))
+            .collect();
+        let mut child_total: BTreeMap<&[String], u64> = BTreeMap::new();
+        for (segs, total) in &totals {
+            if segs.len() > 1 {
+                *child_total.entry(&segs[..segs.len() - 1]).or_default() += total;
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(durations.len());
+        for (segs, ds) in &durations {
+            let mut sorted = ds.clone();
+            sorted.sort_unstable();
+            let count = sorted.len() as u64;
+            let total_us: u64 = sorted.iter().sum();
+            let children = child_total.get(segs.as_slice()).copied().unwrap_or(0);
+            let open = count == 0;
+            nodes.push(SpanNode {
+                path: segs.join("/"),
+                depth: segs.len() - 1,
+                count,
+                total_us,
+                self_us: total_us.saturating_sub(children),
+                overlap: children > total_us,
+                open,
+                p50_us: percentile(&sorted, 50.0),
+                p95_us: percentile(&sorted, 95.0),
+                p99_us: percentile(&sorted, 99.0),
+            });
+        }
+        SpanTree { nodes }
+    }
+
+    /// The node at `path`, if present.
+    pub fn get(&self, path: &str) -> Option<&SpanNode> {
+        self.nodes.iter().find(|n| n.path == path)
+    }
+
+    /// The deterministic shape table: `(path, count)` rows in DFS
+    /// order. With [`TreeOptions::shape_stable`] this is identical at
+    /// every `EADRL_PAR_THREADS` — the cross-thread golden contract.
+    pub fn shape(&self) -> Vec<(String, u64)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.path.clone(), n.count))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadrl_obs::{Event, EventKind, Level};
+
+    fn span(path: &str, us: u64) -> String {
+        Event::new(path, EventKind::Span, Level::Info)
+            .field("duration_us", us)
+            .to_json_line()
+    }
+
+    #[test]
+    fn attributes_total_self_and_counts() {
+        let text = [
+            span("root/child.a", 30),
+            span("root/child.a", 10),
+            span("root/child.b", 20),
+            span("root", 100),
+        ]
+        .join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let root = tree.get("root").expect("root");
+        assert_eq!((root.count, root.total_us, root.self_us), (1, 100, 40));
+        assert!(!root.overlap && !root.open);
+        let a = tree.get("root/child.a").expect("a");
+        assert_eq!((a.count, a.total_us, a.self_us), (2, 40, 40));
+        assert_eq!((a.p50_us, a.p95_us, a.p99_us), (10, 30, 30));
+        // DFS order: parent first.
+        assert_eq!(tree.nodes[0].path, "root");
+    }
+
+    #[test]
+    fn open_parent_and_overlap_are_flagged() {
+        // Parent never closed (killed process): only children made it.
+        let text = [span("dead.parent/kid", 5), span("dead.parent/kid", 7)].join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let parent = tree.get("dead.parent").expect("synthesized");
+        assert!(parent.open && parent.overlap);
+        assert_eq!((parent.count, parent.total_us, parent.self_us), (0, 0, 0));
+
+        // Parallel children: worker busy time exceeds parent wall-clock.
+        let text = [span("map", 10), span("map/w", 8), span("map/w", 9)].join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let map = tree.get("map").expect("map");
+        assert!(map.overlap && !map.open);
+        assert_eq!(map.self_us, 0, "self time clamps, never negative");
+    }
+
+    #[test]
+    fn zero_duration_spans_are_counted() {
+        let text = [span("z.fast", 0), span("z.fast", 0)].join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let z = tree.get("z.fast").expect("z");
+        assert_eq!((z.count, z.total_us, z.p99_us), (2, 0, 0));
+    }
+
+    #[test]
+    fn collapse_reparents_children_and_elides_the_segment() {
+        let text = [
+            span("fit/par.map/par.worker/task.x", 4),
+            span("fit/par.map/par.worker", 5),
+            span("fit/par.map/par.worker/task.x", 6),
+            span("fit/par.map/par.worker", 7),
+            span("fit/par.map", 12),
+            span("fit", 20),
+        ]
+        .join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::shape_stable());
+        assert!(tree.get("fit/par.map/par.worker").is_none());
+        let task = tree.get("fit/par.map/task.x").expect("re-parented");
+        assert_eq!((task.count, task.total_us), (2, 10));
+        // Worker spans' own time folds into par.map's self time.
+        let map = tree.get("fit/par.map").expect("map");
+        assert_eq!(map.self_us, 12 - 10);
+    }
+
+    #[test]
+    fn interleaved_threads_with_identical_paths_aggregate() {
+        let mut e1 =
+            Event::new("job/step.a", EventKind::Span, Level::Info).field("duration_us", 3u64);
+        e1.thread = 1;
+        let mut e2 =
+            Event::new("job/step.a", EventKind::Span, Level::Info).field("duration_us", 5u64);
+        e2.thread = 2;
+        let text = [e1.to_json_line(), e2.to_json_line(), span("job", 10)].join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let step = tree.get("job/step.a").expect("step");
+        assert_eq!((step.count, step.total_us), (2, 8));
+    }
+
+    #[test]
+    fn sibling_name_prefixes_do_not_break_dfs_grouping() {
+        // "step" is a string-prefix of "step.two": byte-wise path sorting
+        // would interleave their subtrees; segment-wise sorting must not.
+        let text = [
+            span("r/step.two", 1),
+            span("r/step/deep.one", 1),
+            span("r/step", 3),
+            span("r", 5),
+        ]
+        .join("\n");
+        let tree = SpanTree::build(&Trace::from_jsonl(&text), &TreeOptions::default());
+        let paths: Vec<&str> = tree.nodes.iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, vec!["r", "r/step", "r/step/deep.one", "r/step.two"]);
+    }
+}

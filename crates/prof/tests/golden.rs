@@ -1,0 +1,114 @@
+//! Golden-fixture attribution test: the committed trace at
+//! `tests/fixtures/golden.jsonl` has hand-computed totals, self times,
+//! and percentiles, and the profiler must reproduce the whole table
+//! exactly. If tree semantics change, this fails loudly and the new
+//! numbers must be re-derived by hand, not copied from the output.
+
+use eadrl_prof::{SpanTree, Trace, TreeOptions, Utilization};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// (path, count, total_us, self_us, p50, p95, p99) — derived on paper:
+///
+/// * `eadrl.fit` total 700; children 200 (pretrain) + 300 (ddpg) +
+///   120 (par.map) = 620 → self 80.
+/// * `eadrl.ddpg` two calls of 150; children 60 + 20 + 40 = 120 →
+///   self 180.
+/// * `ddpg.targets` durations {15, 25}: nearest-rank p50 = 15
+///   (rank ⌈0.5·2⌉ = 1), p95 = p99 = 25.
+/// * `par.map` total 120; worker chunks 50 + 60 = 110 → self 10.
+type Row = (&'static str, u64, u64, u64, u64, u64, u64);
+
+const GOLDEN_RAW: &[Row] = &[
+    ("eadrl.fit", 1, 700, 80, 700, 700, 700),
+    ("eadrl.fit/eadrl.ddpg", 2, 300, 180, 150, 150, 150),
+    ("eadrl.fit/eadrl.ddpg/critic.forward", 2, 60, 60, 30, 30, 30),
+    ("eadrl.fit/eadrl.ddpg/ddpg.stage", 2, 20, 20, 10, 10, 10),
+    ("eadrl.fit/eadrl.ddpg/ddpg.targets", 2, 40, 40, 15, 25, 25),
+    ("eadrl.fit/eadrl.pretrain", 1, 200, 200, 200, 200, 200),
+    ("eadrl.fit/par.map", 1, 120, 10, 120, 120, 120),
+    ("eadrl.fit/par.map/par.worker", 2, 110, 110, 50, 60, 60),
+];
+
+fn table_of(tree: &SpanTree) -> Vec<(String, u64, u64, u64, u64, u64, u64)> {
+    tree.nodes
+        .iter()
+        .map(|n| {
+            (
+                n.path.clone(),
+                n.count,
+                n.total_us,
+                n.self_us,
+                n.p50_us,
+                n.p95_us,
+                n.p99_us,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn golden_fixture_reproduces_the_hand_computed_table() {
+    let trace = Trace::load(&fixture("golden.jsonl")).expect("fixture loads");
+    assert!(!trace.is_truncated(), "golden fixture must be clean");
+    assert_eq!(trace.events.len(), 14);
+
+    let tree = SpanTree::build(&trace, &TreeOptions::default());
+    let expected: Vec<_> = GOLDEN_RAW
+        .iter()
+        .map(|&(p, c, t, s, p50, p95, p99)| (p.to_string(), c, t, s, p50, p95, p99))
+        .collect();
+    assert_eq!(table_of(&tree), expected);
+    assert!(tree.nodes.iter().all(|n| !n.open && !n.overlap));
+}
+
+#[test]
+fn shape_mode_drops_only_worker_chunks() {
+    let trace = Trace::load(&fixture("golden.jsonl")).expect("fixture loads");
+    let shaped = SpanTree::build(&trace, &TreeOptions::shape_stable());
+    // Same table minus the par.worker row, and par.map keeps all its
+    // time as self time (worker busy overlaps it, it is not a child
+    // contribution).
+    let expected: Vec<_> = GOLDEN_RAW
+        .iter()
+        .filter(|row| row.0 != "eadrl.fit/par.map/par.worker")
+        .map(|&(p, c, t, s, p50, p95, p99)| {
+            let s = if p == "eadrl.fit/par.map" { t } else { s };
+            (p.to_string(), c, t, s, p50, p95, p99)
+        })
+        .collect();
+    assert_eq!(table_of(&shaped), expected);
+}
+
+#[test]
+fn golden_fixture_worker_utilization() {
+    let trace = Trace::load(&fixture("golden.jsonl")).expect("fixture loads");
+    let util = Utilization::analyze(&trace);
+    assert_eq!(util.workers.len(), 2);
+    assert_eq!(
+        (
+            util.workers[0].chunks,
+            util.workers[0].items,
+            util.workers[0].busy_us,
+            util.workers[0].queue_wait_us
+        ),
+        (1, 12, 50, 3)
+    );
+    assert_eq!(
+        (
+            util.workers[1].chunks,
+            util.workers[1].items,
+            util.workers[1].busy_us,
+            util.workers[1].queue_wait_us
+        ),
+        (1, 11, 60, 5)
+    );
+    // Busy 50 vs 60, mean 55 → 60/55; items 12 vs 11, mean 11.5.
+    assert!((util.imbalance_ratio() - 60.0 / 55.0).abs() < 1e-12);
+    assert!((util.item_skew() - 12.0 / 11.5).abs() < 1e-12);
+}

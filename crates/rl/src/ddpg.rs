@@ -13,10 +13,13 @@ use std::sync::Arc;
 /// Which compute path [`DdpgAgent::update`] takes through the networks.
 ///
 /// Both paths are **bitwise-identical** in every observable way —
-/// post-update parameters, [`UpdateStats`], telemetry, and the RNG
-/// stream — as proven by the differential tests in
+/// post-update parameters, [`UpdateStats`], telemetry at levels up to
+/// `debug`, and the RNG stream — as proven by the differential tests in
 /// `crates/rl/tests/batched_equivalence.rs` and
-/// `crates/core/tests/batched_determinism.rs`. `Batched` assembles the
+/// `crates/core/tests/batched_determinism.rs`. (At `trace` level the
+/// batched path additionally emits per-phase profiling spans inside
+/// `ddpg.update` — `critic.forward`, `actor.backward`, … — which the
+/// per-sample reference deliberately lacks.) `Batched` assembles the
 /// minibatch into matrices once and runs one GEMM-backed forward/backward
 /// per network per update; `PerSample` is the original transition-at-a-time
 /// loop, kept as the differential reference (and for profiling the gap).
@@ -371,6 +374,7 @@ impl DdpgAgent {
         // path; the borrowed transitions are copied straight into the
         // reused matrices — no per-transition clones).
         {
+            let _phase = eadrl_obs::span_at(Level::Trace, "ddpg.stage");
             let batch = self.buffer.sample(n, self.config.sampling, &mut self.rng);
             self.bufs.states.resize(n, sd);
             self.bufs.next_states.resize(n, sd);
@@ -392,95 +396,128 @@ impl DdpgAgent {
         }
 
         // ---- Bellman targets via the target networks, batched.
-        self.target_actor.forward_batch(&self.bufs.next_states);
-        self.bufs.next_sa.resize(n, sd + ad);
-        for s in 0..n {
-            let row = self.bufs.next_sa.row_mut(s);
-            let (row_s, row_a) = row.split_at_mut(sd);
-            row_s.copy_from_slice(self.bufs.next_states.row(s));
-            // Squash straight into the staged minibatch row — no
-            // per-sample Vec.
-            self.config
-                .squash
-                .forward_into(self.target_actor.batch_output().row(s), row_a);
-        }
-        self.target_critic.forward_batch(&self.bufs.next_sa);
-        self.bufs.targets.clear();
-        for s in 0..n {
-            let q_next = self.target_critic.batch_output()[(s, 0)];
-            let y = self.bufs.rewards[s]
-                + if self.bufs.dones[s] {
-                    0.0
-                } else {
-                    self.config.gamma * q_next
-                };
-            self.bufs.targets.push(y);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "ddpg.targets");
+            self.target_actor.forward_batch(&self.bufs.next_states);
+            self.bufs.next_sa.resize(n, sd + ad);
+            for s in 0..n {
+                let row = self.bufs.next_sa.row_mut(s);
+                let (row_s, row_a) = row.split_at_mut(sd);
+                row_s.copy_from_slice(self.bufs.next_states.row(s));
+                // Squash straight into the staged minibatch row — no
+                // per-sample Vec.
+                self.config
+                    .squash
+                    .forward_into(self.target_actor.batch_output().row(s), row_a);
+            }
+            self.target_critic.forward_batch(&self.bufs.next_sa);
+            self.bufs.targets.clear();
+            for s in 0..n {
+                let q_next = self.target_critic.batch_output()[(s, 0)];
+                let y = self.bufs.rewards[s]
+                    + if self.bufs.dones[s] {
+                        0.0
+                    } else {
+                        self.config.gamma * q_next
+                    };
+                self.bufs.targets.push(y);
+            }
         }
 
         // ---- Critic update: minimize (Q(s,a) - y)² with Bellman targets.
         self.critic.zero_grad();
-        self.critic.forward_batch(&self.bufs.sa);
         let mut critic_loss = 0.0;
-        self.bufs.grad_q.resize(n, 1);
-        for s in 0..n {
-            let err = self.critic.batch_output()[(s, 0)] - self.bufs.targets[s];
-            critic_loss += err * err / n as f64;
-            self.bufs.grad_q[(s, 0)] = 2.0 * err / n as f64;
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "critic.forward");
+            self.critic.forward_batch(&self.bufs.sa);
+            self.bufs.grad_q.resize(n, 1);
+            for s in 0..n {
+                let err = self.critic.batch_output()[(s, 0)] - self.bufs.targets[s];
+                critic_loss += err * err / n as f64;
+                self.bufs.grad_q[(s, 0)] = 2.0 * err / n as f64;
+            }
         }
-        // Nothing sits below the critic's first layer — skip its
-        // input-gradient GEMM (parameter gradients are bitwise identical).
-        self.critic.backward_batch_weights_only(&self.bufs.grad_q);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "critic.backward");
+            // Nothing sits below the critic's first layer — skip its
+            // input-gradient GEMM (parameter gradients are bitwise identical).
+            self.critic.backward_batch_weights_only(&self.bufs.grad_q);
+        }
         let critic_grad_norm = eadrl_obs::enabled(Level::Debug).then(|| self.critic.grad_norm());
-        self.critic.clip_grad_norm(5.0);
-        self.critic_opt.step(&mut self.critic);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "ddpg.optimizer");
+            self.critic.clip_grad_norm(5.0);
+            self.critic_opt.step(&mut self.critic);
+        }
 
         // ---- Actor update: ascend ∇_θ Q(s, π_θ(s)).
         self.actor.zero_grad();
-        self.actor.forward_batch(&self.bufs.states);
-        self.bufs.pi_sa.resize(n, sd + ad);
-        for s in 0..n {
-            let row = self.bufs.pi_sa.row_mut(s);
-            let (row_s, row_a) = row.split_at_mut(sd);
-            row_s.copy_from_slice(self.bufs.states.row(s));
-            self.config
-                .squash
-                .forward_into(self.actor.batch_output().row(s), row_a);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "actor.forward");
+            self.actor.forward_batch(&self.bufs.states);
         }
-        self.critic.forward_batch(&self.bufs.pi_sa);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "squash.forward");
+            self.bufs.pi_sa.resize(n, sd + ad);
+            for s in 0..n {
+                let row = self.bufs.pi_sa.row_mut(s);
+                let (row_s, row_a) = row.split_at_mut(sd);
+                row_s.copy_from_slice(self.bufs.states.row(s));
+                self.config
+                    .squash
+                    .forward_into(self.actor.batch_output().row(s), row_a);
+            }
+        }
         let mut actor_objective = 0.0;
-        self.bufs.grad_q.resize(n, 1);
-        for s in 0..n {
-            actor_objective += self.critic.batch_output()[(s, 0)] / n as f64;
-            // dQ/d(input) with loss = -Q / n (gradient ascent on Q).
-            self.bufs.grad_q[(s, 0)] = -1.0 / n as f64;
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "critic.grad_input");
+            self.critic.forward_batch(&self.bufs.pi_sa);
+            self.bufs.grad_q.resize(n, 1);
+            for s in 0..n {
+                actor_objective += self.critic.batch_output()[(s, 0)] / n as f64;
+                // dQ/d(input) with loss = -Q / n (gradient ascent on Q).
+                self.bufs.grad_q[(s, 0)] = -1.0 / n as f64;
+            }
+            // The critic is differentiated only to reach the action inputs —
+            // its own weight gradients are scratch in both update paths, so
+            // the input-only backward skips computing them altogether.
+            self.critic.backward_batch_input_only(&self.bufs.grad_q);
         }
-        // The critic is differentiated only to reach the action inputs —
-        // its own weight gradients are scratch in both update paths, so
-        // the input-only backward skips computing them altogether.
-        self.critic.backward_batch_input_only(&self.bufs.grad_q);
-        self.bufs.grad_raw.resize(n, ad);
-        let reg = self.config.actor_logit_reg;
-        for s in 0..n {
-            let raw = self.actor.batch_output().row(s);
-            let action = &self.bufs.pi_sa.row(s)[sd..];
-            let grad_action = &self.critic.batch_grad_input().row(s)[sd..];
-            let grad_raw = self.bufs.grad_raw.row_mut(s);
-            self.config
-                .squash
-                .backward_into(raw, action, grad_action, grad_raw);
-            // Logit weight decay: keeps the actor out of squash saturation.
-            if reg > 0.0 {
-                for (g, &r) in grad_raw.iter_mut().zip(raw.iter()) {
-                    *g += reg * r / n as f64;
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "squash.backward");
+            self.bufs.grad_raw.resize(n, ad);
+            let reg = self.config.actor_logit_reg;
+            for s in 0..n {
+                let raw = self.actor.batch_output().row(s);
+                let action = &self.bufs.pi_sa.row(s)[sd..];
+                let grad_action = &self.critic.batch_grad_input().row(s)[sd..];
+                let grad_raw = self.bufs.grad_raw.row_mut(s);
+                self.config
+                    .squash
+                    .backward_into(raw, action, grad_action, grad_raw);
+                // Logit weight decay: keeps the actor out of squash saturation.
+                if reg > 0.0 {
+                    for (g, &r) in grad_raw.iter_mut().zip(raw.iter()) {
+                        *g += reg * r / n as f64;
+                    }
                 }
             }
         }
-        self.actor.backward_batch_weights_only(&self.bufs.grad_raw);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "actor.backward");
+            self.actor.backward_batch_weights_only(&self.bufs.grad_raw);
+        }
         let actor_grad_norm = eadrl_obs::enabled(Level::Debug).then(|| self.actor.grad_norm());
-        self.actor.clip_grad_norm(5.0);
-        self.actor_opt.step(&mut self.actor);
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "ddpg.optimizer");
+            self.actor.clip_grad_norm(5.0);
+            self.actor_opt.step(&mut self.actor);
+        }
 
-        self.polyak_target_updates();
+        {
+            let _phase = eadrl_obs::span_at(Level::Trace, "ddpg.polyak");
+            self.polyak_target_updates();
+        }
         UpdateStats {
             critic_loss,
             actor_objective,

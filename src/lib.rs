@@ -25,7 +25,9 @@
 //!   parallel hot path (`EADRL_PAR_THREADS`),
 //! * [`core`] — EA-DRL itself plus every baseline combiner,
 //! * [`eval`] — Bayesian correlated t-test, Bayes sign test, rank tables,
-//! * [`obs`] — zero-dependency telemetry (spans, metrics, JSONL events).
+//! * [`obs`] — zero-dependency telemetry (spans, metrics, JSONL events),
+//! * [`prof`] — trace-driven profiler over `obs` traces (span-tree
+//!   attribution, flamegraph export, worker utilization, latency diff).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@ pub use eadrl_models as models;
 pub use eadrl_nn as nn;
 pub use eadrl_obs as obs;
 pub use eadrl_par as par;
+pub use eadrl_prof as prof;
 pub use eadrl_rl as rl;
 pub use eadrl_rng as rng;
 pub use eadrl_timeseries as timeseries;

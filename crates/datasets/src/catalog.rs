@@ -78,6 +78,7 @@ impl DatasetId {
 
     /// The 1-based numeric id used in Table I.
     pub fn number(self) -> usize {
+        // eadrl-lint: allow(panic-reachable): all() enumerates every variant, so position() always finds self
         DatasetId::all().iter().position(|&d| d == self).unwrap() + 1
     }
 
@@ -270,7 +271,7 @@ pub fn generate(id: DatasetId, length: usize, seed: u64) -> TimeSeries {
     let spec = catalog()
         .into_iter()
         .find(|s| s.id == id)
-        .expect("catalog covers all ids");
+        .expect("catalog covers all ids"); // eadrl-lint: allow(panic-reachable): catalog() is built from DatasetId::all(), so every id has a spec
     let values = match id {
         DatasetId::WaterConsumption => SeriesBuilder::new(spec_seed, 300.0)
             .seasonal(7.0, 25.0, 0.0)

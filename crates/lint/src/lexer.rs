@@ -39,10 +39,24 @@ pub struct Token {
     pub kind: TokenKind,
     /// The token text. For [`TokenKind::Str`] this is the *content*
     /// between the quotes (fences stripped, escapes untouched), because
-    /// rules match on literal values, not on quoting style.
+    /// rules match on literal values, not on quoting style. For a raw
+    /// identifier (`r#fn`) this is the bare name (`fn`) with [`Token::raw`]
+    /// set, so rules match the name while the parser still knows it is
+    /// *not* a keyword.
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: usize,
+    /// True for raw identifiers (`r#type`): the text is an identifier
+    /// even when it spells a keyword.
+    pub raw: bool,
+}
+
+impl Token {
+    /// True when the token is the *keyword* `kw` — an identifier spelling
+    /// it that is not a raw identifier (`r#fn` is a name, not `fn`).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.kind == TokenKind::Ident && !self.raw && self.text == kw
+    }
 }
 
 /// One comment, kept separate from the token stream.
@@ -197,6 +211,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Str,
                     text: content,
                     line: start_line,
+                    raw: false,
                 });
             }
             b'r' | b'b' if starts_string_prefix(&cur) => {
@@ -205,6 +220,27 @@ pub fn lex(src: &str) -> Lexed {
                     kind: content.0,
                     text: content.1,
                     line: start_line,
+                    raw: false,
+                });
+            }
+            // Raw identifier `r#fn` / `r#type`: `r#` followed by an
+            // identifier start that is *not* a raw-string fence (those are
+            // caught by `starts_string_prefix` above — any number of `#`s
+            // followed by a quote).
+            b'r' if cur.peek(1) == Some(b'#')
+                && cur.peek(2).map(is_ident_start).unwrap_or(false) =>
+            {
+                cur.bump(); // r
+                cur.bump(); // #
+                let start = cur.pos;
+                while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..cur.pos].to_string(),
+                    line: start_line,
+                    raw: true,
                 });
             }
             b'\'' => {
@@ -229,6 +265,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokenKind::Lifetime,
                         text: src[start..cur.pos].to_string(),
                         line: start_line,
+                        raw: false,
                     });
                 } else {
                     cur.bump();
@@ -251,6 +288,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokenKind::Char,
                         text,
                         line: start_line,
+                        raw: false,
                     });
                 }
             }
@@ -267,6 +305,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind,
                     text,
                     line: start_line,
+                    raw: false,
                 });
             }
             _ if is_ident_start(c) => {
@@ -278,6 +317,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Ident,
                     text: src[start..cur.pos].to_string(),
                     line: start_line,
+                    raw: false,
                 });
             }
             _ => {
@@ -289,6 +329,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokenKind::Op,
                         text: (*op).to_string(),
                         line: start_line,
+                        raw: false,
                     });
                 } else {
                     cur.bump();
@@ -296,6 +337,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokenKind::Punct,
                         text: (c as char).to_string(),
                         line: start_line,
+                        raw: false,
                     });
                 }
             }
@@ -599,6 +641,41 @@ mod tests {
         assert!(lexed.comments[0].doc);
         assert!(!lexed.comments[1].doc);
         assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        // `r#fn` must lex as ONE identifier (`fn`, raw), not as `r`+`#`+`fn`
+        // and certainly not as the start of a raw string swallowing the
+        // rest of the file.
+        let lexed = lex("let r#fn = r#type; let live = 1;");
+        let raws: Vec<_> = lexed.tokens.iter().filter(|t| t.raw).collect();
+        assert_eq!(raws.len(), 2);
+        assert_eq!(raws[0].text, "fn");
+        assert_eq!(raws[1].text, "type");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "live"));
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_identifier_vs_raw_string_disambiguation() {
+        // `r#"…"#` stays a raw string; `r#struct` right next to it stays an
+        // identifier.
+        let toks = kinds("let a = r#\"text\"#; let r#struct = 2;");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        let lexed = lex("let a = r#\"text\"#; let r#struct = 2;");
+        assert!(lexed.tokens.iter().any(|t| t.raw && t.text == "struct"));
+    }
+
+    #[test]
+    fn is_kw_rejects_raw_identifiers() {
+        let lexed = lex("fn f() { let r#fn = 1; }");
+        let kw_fns: Vec<_> = lexed.tokens.iter().filter(|t| t.is_kw("fn")).collect();
+        assert_eq!(kw_fns.len(), 1, "only the real `fn` keyword counts");
+        assert_eq!(kw_fns[0].line, 1);
     }
 
     #[test]

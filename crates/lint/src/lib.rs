@@ -27,11 +27,16 @@
 //! `// eadrl-lint: allow(<rule>): <justification>`; a marker without a
 //! justification is itself a finding.
 
+pub mod ast;
+pub mod callgraph;
+pub mod deep;
 pub mod lexer;
 pub mod rules;
 pub mod source;
 
-pub use rules::{default_rules, lint_source, Finding, LintContext, LintReport, ObsSchema, Rule};
+pub use rules::{
+    default_rules, lint_file, lint_source, Finding, LintContext, LintReport, ObsSchema, Rule,
+};
 
 use std::fs;
 use std::io;

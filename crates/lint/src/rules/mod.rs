@@ -20,6 +20,24 @@ pub use obs_schema::ObsSchema;
 /// itself suppressible.
 pub const SUPPRESSION_RULE: &str = "suppression";
 
+/// Deep-pass rule: an unallowed panic escape hatch is transitively
+/// reachable from a pub library fn (see `crate::deep`).
+pub const PANIC_RULE: &str = "panic-reachable";
+/// Deep-pass rule: a `DESIGN.md` hot-path fn transitively reaches an
+/// allocating call.
+pub const HOT_RULE: &str = "hot-path-alloc";
+/// Deep-pass rule: a nondeterminism source is reachable from a
+/// `fit`/`predict` path without passing the obs trace gate.
+pub const TAINT_RULE: &str = "determinism-taint";
+/// Deep-pass rule: a suppression marker that no longer suppresses any
+/// finding. Not itself suppressible.
+pub const STALE_RULE: &str = "stale-allow";
+
+/// Rules evaluated by the call-graph passes rather than per line —
+/// `allow(...)` may name them (at line or fn granularity), so the
+/// marker validator accepts them alongside the line rules.
+pub const DEEP_RULES: &[&str] = &[PANIC_RULE, HOT_RULE, TAINT_RULE];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -81,10 +99,19 @@ pub fn lint_source(
     rel_path: &str,
     text: &str,
 ) -> (Vec<Finding>, Vec<Finding>) {
-    let file = SourceFile::parse(rel_path, text);
+    lint_file(rules, ctx, &SourceFile::parse(rel_path, text))
+}
+
+/// Like [`lint_source`] but over an already-parsed file, so callers that
+/// also run the deep passes lex each file exactly once.
+pub fn lint_file(
+    rules: &[Box<dyn Rule>],
+    ctx: &LintContext,
+    file: &SourceFile,
+) -> (Vec<Finding>, Vec<Finding>) {
     let mut raw = Vec::new();
     for rule in rules {
-        rule.check(&file, ctx, &mut raw);
+        rule.check(file, ctx, &mut raw);
     }
     let mut active = Vec::new();
     let mut suppressed = Vec::new();
@@ -98,7 +125,8 @@ pub fn lint_source(
     // Validate the markers themselves: a suppression that names an
     // unknown rule or carries no justification is a finding, so stale or
     // lazy `allow(...)`s cannot silently accumulate.
-    let known: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    let mut known: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    known.extend(DEEP_RULES);
     for s in &file.suppressions {
         if s.rules.is_empty() {
             active.push(Finding {

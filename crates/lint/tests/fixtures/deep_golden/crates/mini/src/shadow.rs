@@ -1,0 +1,14 @@
+//! A free fn sharing the trait method's name: bare calls inside this
+//! module must resolve here (same-module wins), not into the `Model`
+//! implementors — one of which panics.
+
+/// Same name as `Model::score`, but a free fn that cannot panic.
+pub fn score(x: f64) -> f64 {
+    x + 1.0
+}
+
+/// Calls the module-local `score`. Must stay `safe` even though
+/// `Risky::score` (same name, different kind) panics.
+pub fn call_free(x: f64) -> f64 {
+    score(x)
+}

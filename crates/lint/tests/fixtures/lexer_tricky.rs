@@ -20,3 +20,19 @@ pub fn tricky(n: usize) -> String {
     let range_not_float = (0..10).len() == n;
     format!("{s}{raw}{fenced}{byte_str:?}{quote_char}{escaped}{lifetime_like}{second}{range_not_float}")
 }
+
+/// Raw identifiers: `r#`-prefixed keywords are ordinary identifiers.
+/// `r#fn` / `r#loop` must not start a bogus item, `r#match` must not
+/// open a match expression, and none of it may produce findings.
+pub fn raw_idents() -> usize {
+    let r#fn = 1usize;
+    let r#loop = 2usize;
+    let r#match = r#fn + r#loop;
+    struct RawField {
+        r#type: usize,
+    }
+    let s = RawField { r#type: r#match };
+    // A raw ident bumping against a raw string: `r#fn` then `r#"…"#`.
+    let mix = r#fn + r#"not .unwrap() either"#.len();
+    s.r#type + mix
+}

@@ -91,6 +91,7 @@ fn obs() -> &'static Obs {
     })
 }
 
+// eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
 fn apply_config(state: &Obs, config: &ObsConfig) {
     let sink: Arc<dyn EventSink> = match &config.target {
         SinkTarget::Noop => Arc::new(NoopSink),
@@ -118,6 +119,7 @@ pub fn init(config: &ObsConfig) {
 }
 
 /// Replaces the event sink, leaving the level untouched.
+// eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
 pub fn set_sink(sink: Arc<dyn EventSink>) {
     *obs().sink.write().unwrap() = sink;
 }
@@ -155,6 +157,7 @@ pub fn enabled(level: Level) -> bool {
 /// Sends an already-built event to the sink if its level is enabled.
 /// Inside a buffering [`worker_context`], the event is captured on the
 /// current thread instead (the pool replays it via [`emit_batch`]).
+// eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
 pub fn emit(event: Event) {
     if !enabled(event.level) {
         return;
@@ -170,6 +173,7 @@ pub fn emit(event: Event) {
 /// its workers, one batch per worker in worker-index order. When the
 /// calling thread is itself inside a buffering [`worker_context`] (a
 /// nested pool), the batch lands in that outer buffer instead.
+// eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
 pub fn emit_batch(events: Vec<Event>) {
     if events.is_empty() {
         return;
@@ -184,6 +188,7 @@ pub fn emit_batch(events: Vec<Event>) {
 }
 
 /// Flushes the current sink.
+// eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
 pub fn flush() {
     obs().sink.read().unwrap().flush();
 }

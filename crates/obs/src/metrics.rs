@@ -305,6 +305,7 @@ impl Registry {
     ///
     /// # Panics
     /// Panics when `name` is already registered as a different kind.
+    // eadrl-lint: allow(panic-reachable): kind-mismatch registration is a programmer error, documented under # Panics
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut map = self.map.lock().unwrap();
         match map
@@ -320,6 +321,7 @@ impl Registry {
     ///
     /// # Panics
     /// Panics when `name` is already registered as a different kind.
+    // eadrl-lint: allow(panic-reachable): kind-mismatch registration is a programmer error, documented under # Panics
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut map = self.map.lock().unwrap();
         match map
@@ -335,6 +337,7 @@ impl Registry {
     ///
     /// # Panics
     /// Panics when `name` is already registered as a different kind.
+    // eadrl-lint: allow(panic-reachable): kind-mismatch registration is a programmer error, documented under # Panics
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.map.lock().unwrap();
         match map
@@ -348,6 +351,7 @@ impl Registry {
 
     /// One [`EventKind::Metric`] event per registered metric, in name
     /// order — the exportable state of the registry.
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     pub fn snapshot_events(&self) -> Vec<Event> {
         let map = self.map.lock().unwrap();
         map.iter()

@@ -54,6 +54,7 @@ impl RingSink {
     /// A copy of the stored events, oldest first. When overflow has
     /// evicted events, one synthetic `obs.ring.dropped` warn event
     /// (field `count`) is appended so consumers see the truncation.
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     pub fn events(&self) -> Vec<Event> {
         let mut events: Vec<Event> = self.buf.lock().unwrap().iter().cloned().collect();
         let dropped = self.dropped.load(Ordering::Relaxed);
@@ -73,6 +74,7 @@ impl RingSink {
     }
 
     /// Stored events whose name (or any span path segment) equals `name`.
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     pub fn events_named(&self, name: &str) -> Vec<Event> {
         self.buf
             .lock()
@@ -84,16 +86,19 @@ impl RingSink {
     }
 
     /// Number of stored events.
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     pub fn len(&self) -> usize {
         self.buf.lock().unwrap().len()
     }
 
     /// True when nothing is stored.
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     pub fn is_empty(&self) -> bool {
         self.buf.lock().unwrap().is_empty()
     }
 
     /// Drops all stored events and resets the dropped-event counter.
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     pub fn clear(&self) {
         self.buf.lock().unwrap().clear();
         self.dropped.store(0, Ordering::Relaxed);
@@ -101,6 +106,7 @@ impl RingSink {
 }
 
 impl EventSink for RingSink {
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     fn emit(&self, event: &Event) {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.capacity {
@@ -138,6 +144,7 @@ impl JsonlSink {
 }
 
 impl EventSink for JsonlSink {
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     fn emit(&self, event: &Event) {
         let line = event.to_json_line();
         let mut out = self.out.lock().unwrap();
@@ -145,6 +152,7 @@ impl EventSink for JsonlSink {
         let _ = writeln!(out, "{line}");
     }
 
+    // eadrl-lint: allow(panic-reachable): lock poisoning requires a prior panic elsewhere; aborting is the correct response
     fn flush(&self) {
         let _ = self.out.lock().unwrap().flush();
     }

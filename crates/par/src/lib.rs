@@ -339,7 +339,6 @@ where
         span.record("worker", worker.into());
         span.record("items", chunk.len().into());
         if span.is_recording() {
-            // eadrl-lint: allow(determinism): queue-wait telemetry only — gated on debug level, never in results
             let queue_wait_us = spawned_at.map_or(0, |t| t.elapsed().as_micros() as u64);
             span.record("queue_wait_us", queue_wait_us.into());
         }

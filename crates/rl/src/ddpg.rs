@@ -390,8 +390,8 @@ impl DdpgAgent {
                 let row = self.bufs.sa.row_mut(s);
                 row[..sd].copy_from_slice(&t.state);
                 row[sd..].copy_from_slice(&t.action);
-                self.bufs.rewards.push(t.reward);
-                self.bufs.dones.push(t.done);
+                self.bufs.rewards.push(t.reward); // eadrl-lint: allow(hot-path-alloc): push into a cleared, capacity-retaining Vec — allocation-free at steady state
+                self.bufs.dones.push(t.done); // eadrl-lint: allow(hot-path-alloc): push into a cleared, capacity-retaining Vec — allocation-free at steady state
             }
         }
 
@@ -420,7 +420,7 @@ impl DdpgAgent {
                     } else {
                         self.config.gamma * q_next
                     };
-                self.bufs.targets.push(y);
+                self.bufs.targets.push(y); // eadrl-lint: allow(hot-path-alloc): push into a cleared, capacity-retaining Vec — allocation-free at steady state
             }
         }
 

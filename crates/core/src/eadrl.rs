@@ -3,11 +3,13 @@
 
 use crate::combiner::Combiner;
 use crate::env::{normalize_window, EnsembleEnv, RewardKind};
+use crate::guard::{renormalize_over_active, GuardConfig, PoolGuard};
 use crate::persist::PolicySnapshot;
 use eadrl_linalg::vector::dot;
-use eadrl_models::{Forecaster, ModelError};
+use eadrl_models::{fallback_forecast, Forecaster, ModelError};
 use eadrl_obs::Level;
 use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy, UpdatePath};
+use eadrl_timeseries::sanitize::sanitize_series;
 
 /// Shannon entropy of a weight vector (natural log) — 0 for a one-hot
 /// weighting, `ln m` for the uniform one. A telemetry-facing summary of
@@ -88,6 +90,10 @@ pub struct EaDrlConfig {
     /// candidates, so without a margin the winner's curse lets noisy
     /// checkpoints displace robust static weightings.
     pub selection_margin: f64,
+    /// Graceful-degradation policy for the online serving path (per-model
+    /// `catch_unwind`, non-finite masking, quarantine/re-entry) — see
+    /// [`crate::guard`].
+    pub guard: GuardConfig,
     /// Underlying DDPG configuration (γ, learning rates, sampling, nets).
     pub ddpg: DdpgConfig,
 }
@@ -108,6 +114,7 @@ impl Default for EaDrlConfig {
             init_temperature: 8.0,
             online_state: OnlineState::EnsembleOutputs,
             prune_fraction: None,
+            guard: GuardConfig::default(),
             ddpg: DdpgConfig {
                 gamma: 0.9,
                 actor_lr: 0.01,
@@ -218,6 +225,16 @@ impl EaDrlPolicy {
         if self.window.len() > cap {
             self.window.remove(0);
         }
+    }
+
+    /// Advances the state window with the ensemble value actually served.
+    ///
+    /// The degraded serving path uses this instead of
+    /// [`Combiner::observe`]: under masking the served value is a
+    /// renormalized combination over the surviving members, which the
+    /// raw-weight dot product inside `observe` would not reproduce.
+    pub(crate) fn observe_served(&mut self, served: f64) {
+        self.push_output(served);
     }
 }
 
@@ -478,6 +495,7 @@ pub struct EaDrl {
     pool: Vec<Box<dyn Forecaster>>,
     dropped: Vec<String>,
     policy: EaDrlPolicy,
+    guard: PoolGuard,
     fitted: bool,
 }
 
@@ -488,10 +506,12 @@ impl EaDrl {
     /// Panics on an empty pool.
     pub fn new(pool: Vec<Box<dyn Forecaster>>, config: EaDrlConfig) -> Self {
         assert!(!pool.is_empty(), "EA-DRL needs a non-empty model pool");
+        let guard = PoolGuard::new(config.guard.clone(), pool.len());
         EaDrl {
             pool,
             dropped: Vec::new(),
             policy: EaDrlPolicy::new(config),
+            guard,
             fitted: false,
         }
     }
@@ -505,6 +525,31 @@ impl EaDrl {
     /// dropped and reported via [`EaDrl::dropped_models`].
     pub fn fit(&mut self, train: &[f64]) -> Result<(), ModelError> {
         let _span = eadrl_obs::span("eadrl.fit");
+        // Repair gaps/non-finite values before any model sees the series
+        // (forward-fill policy — see `eadrl_timeseries::sanitize`). A
+        // fully non-finite series cannot be repaired meaningfully.
+        let sanitized = sanitize_series(train);
+        let train: &[f64] = match &sanitized {
+            None => train,
+            Some((fixed, stats)) => {
+                eadrl_obs::event(
+                    "eadrl.sanitize",
+                    Level::Warn,
+                    &[
+                        ("context", "fit".into()),
+                        ("replaced", stats.replaced.into()),
+                        ("leading", stats.leading.into()),
+                        ("len", stats.len.into()),
+                    ],
+                );
+                if stats.replaced == stats.len {
+                    return Err(ModelError::Numerical {
+                        context: "training series has no finite values".into(),
+                    });
+                }
+                fixed
+            }
+        };
         let val_fraction = self.policy.config.val_fraction.clamp(0.05, 0.5);
         let fit_len = ((train.len() as f64) * (1.0 - val_fraction)).round() as usize;
         let omega = self.policy.config.omega;
@@ -583,6 +628,8 @@ impl EaDrl {
             ]
         });
         self.policy.warm_up(&preds, val_part);
+        // Health tracking starts fresh for the (possibly pruned) pool.
+        self.guard.reset(self.pool.len());
         self.fitted = true;
         Ok(())
     }
@@ -594,15 +641,71 @@ impl EaDrl {
     /// One-step-ahead forecast given the observed history (Algorithm 1's
     /// inner step). Advances the policy's internal state window with the
     /// ensemble output.
+    ///
+    /// This is the hardened serving path: the input history is repaired
+    /// (forward fill over gaps/non-finite values), every pool member runs
+    /// under the degradation guard (`catch_unwind`, non-finite masking,
+    /// quarantine — see [`crate::guard`]), and the returned forecast is
+    /// finite whenever the history contains at least one finite value.
+    /// On a fault-free step the arithmetic is identical, in order, to
+    /// the unguarded loop, so clean runs stay byte-for-byte reproducible.
     pub fn predict_next(&mut self, history: &[f64]) -> f64 {
         let _span = eadrl_obs::span_at(Level::Debug, "eadrl.predict_next");
-        let preds: Vec<f64> = self
-            .pool
-            .iter()
-            .map(|model| model.predict_next(history))
-            .collect();
-        let ens = self.policy.combine(&preds);
-        self.policy.observe(&preds, f64::NAN);
+        let sanitized = sanitize_series(history);
+        let history: &[f64] = match &sanitized {
+            None => history,
+            Some((fixed, stats)) => {
+                eadrl_obs::event(
+                    "eadrl.sanitize",
+                    Level::Warn,
+                    &[
+                        ("context", "predict_history".into()),
+                        ("replaced", stats.replaced.into()),
+                        ("leading", stats.leading.into()),
+                        ("len", stats.len.into()),
+                    ],
+                );
+                fixed
+            }
+        };
+        let sweep = self.guard.sweep(&self.pool, history);
+        let w = self.policy.weights(self.pool.len());
+        if sweep.all_active {
+            // Fault-free fast path: bit-identical to the historical
+            // unguarded combination (same dot, same observe).
+            let ens = dot(&w, &sweep.values);
+            self.policy.observe(&sweep.values, f64::NAN);
+            return ens;
+        }
+        let effective = renormalize_over_active(&w, &sweep.active);
+        let survivors = sweep.active.iter().filter(|&&a| a).count();
+        let ens = if survivors == 0 {
+            // Whole pool masked: degrade to the documented history
+            // fallback rather than serving garbage.
+            fallback_forecast(history)
+        } else {
+            dot(&effective, &sweep.values)
+        };
+        eadrl_obs::event_with("eadrl.degraded", Level::Warn, || {
+            let faulted: Vec<f64> = sweep.faults.iter().map(|(i, _)| *i as f64).collect();
+            let classes: Vec<String> = sweep
+                .faults
+                .iter()
+                .map(|(_, c)| c.as_str().to_string())
+                .collect();
+            let quarantined: Vec<f64> =
+                self.guard.quarantined().iter().map(|&i| i as f64).collect();
+            vec![
+                ("survivors".to_string(), survivors.into()),
+                ("pool".to_string(), self.pool.len().into()),
+                ("faulted".to_string(), faulted.as_slice().into()),
+                ("classes".to_string(), classes.join(",").into()),
+                ("quarantined".to_string(), quarantined.as_slice().into()),
+                ("weights".to_string(), effective.as_slice().into()),
+                ("forecast".to_string(), ens.into()),
+            ]
+        });
+        self.policy.observe_served(ens);
         ens
     }
 
@@ -648,6 +751,17 @@ impl EaDrl {
     /// Immutable access to the learned policy.
     pub fn policy(&self) -> &EaDrlPolicy {
         &self.policy
+    }
+
+    /// Indices of pool members currently quarantined by the degradation
+    /// guard (empty on a healthy pool).
+    pub fn quarantined_models(&self) -> Vec<usize> {
+        self.guard.quarantined()
+    }
+
+    /// Immutable access to the degradation guard's health state.
+    pub fn guard(&self) -> &PoolGuard {
+        &self.guard
     }
 }
 

@@ -148,14 +148,31 @@ pub fn sanitize_predictions(preds: &mut [Vec<f64>], reference: &[f64]) {
     let range = (hi - lo).max(1e-9);
     let (floor, ceil) = (lo - 3.0 * range, hi + 3.0 * range);
     let mid = 0.5 * (lo + hi);
+    let mut replaced = 0usize;
+    let mut cells = 0usize;
     for row in preds.iter_mut() {
         for v in row.iter_mut() {
+            cells += 1;
             if !v.is_finite() {
                 *v = mid;
+                replaced += 1;
             } else {
                 *v = v.clamp(floor, ceil);
             }
         }
+    }
+    // Only non-finite repair is reported: range clamps are routine and an
+    // event per fit would pollute the clean-path telemetry baselines.
+    if replaced > 0 {
+        eadrl_obs::event(
+            "eadrl.sanitize",
+            eadrl_obs::Level::Warn,
+            &[
+                ("context", "prediction_matrix".into()),
+                ("replaced", replaced.into()),
+                ("len", cells.into()),
+            ],
+        );
     }
 }
 

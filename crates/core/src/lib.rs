@@ -22,6 +22,7 @@ pub mod combiner;
 pub mod eadrl;
 pub mod env;
 pub mod experiment;
+pub mod guard;
 pub mod online;
 pub mod parallel;
 pub mod persist;
@@ -32,6 +33,9 @@ pub use eadrl::{weight_entropy, EaDrl, EaDrlConfig, EaDrlPolicy, OnlineState};
 pub use env::{EnsembleEnv, RewardKind};
 pub use experiment::{
     multi_horizon_rmse, sanitize_predictions, DatasetEvaluation, EvaluationProtocol, MethodResult,
+};
+pub use guard::{
+    guarded_call, renormalize_over_active, FaultClass, GuardConfig, GuardedSweep, PoolGuard,
 };
 pub use online::{AdaptiveEaDrl, RefreshTrigger};
 pub use parallel::{fit_pool, prediction_matrix};

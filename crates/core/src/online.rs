@@ -17,6 +17,15 @@ use crate::combiner::Combiner;
 use crate::eadrl::{EaDrlConfig, EaDrlPolicy};
 use eadrl_obs::Level;
 use eadrl_timeseries::drift::PageHinkley;
+use eadrl_timeseries::sanitize::sanitize_series;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Maximum policy-learning attempts per online refresh (1 initial try +
+/// bounded retries with a deterministically bumped seed). A refresh that
+/// panics — e.g. a corrupted buffer driving the DDPG training into a
+/// numerical edge case — must never take down the serving loop, and a
+/// bounded number of re-seeded retries recovers the transient cases.
+const REFRESH_ATTEMPTS: u64 = 3;
 
 /// When to re-learn the combination policy online.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,14 +119,77 @@ impl AdaptiveEaDrl {
             return; // Not enough recent data to rebuild the environment.
         }
         let _span = eadrl_obs::span("eadrl.online.refresh");
-        let preds: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| p.clone()).collect();
+        let mut preds: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| p.clone()).collect();
         let actuals: Vec<f64> = self.history.iter().map(|(_, a)| *a).collect();
-        let mut fresh = EaDrlPolicy::new(self.config.clone());
-        fresh.warm_up(&preds, &actuals);
-        let deployed = fresh.is_trained();
-        if deployed {
-            self.policy = fresh;
-            self.refreshes += 1;
+        // A live buffer can carry non-finite entries (faulty members, gap
+        // bursts); repair it before it reaches policy learning. A buffer
+        // with no finite actual at all cannot train anything.
+        let actuals = match sanitize_series(&actuals) {
+            None => actuals,
+            Some((fixed, stats)) => {
+                eadrl_obs::event(
+                    "eadrl.sanitize",
+                    Level::Warn,
+                    &[
+                        ("context", "refresh_buffer".into()),
+                        ("replaced", stats.replaced.into()),
+                        ("leading", stats.leading.into()),
+                        ("len", stats.len.into()),
+                    ],
+                );
+                if stats.replaced == stats.len {
+                    eadrl_obs::warn(
+                        "eadrl.online.refresh.skipped",
+                        &[
+                            ("cause", cause.into()),
+                            ("buffer_len", self.history.len().into()),
+                            ("needed", (self.config.omega + 3).into()),
+                        ],
+                    );
+                    return;
+                }
+                fixed
+            }
+        };
+        crate::experiment::sanitize_predictions(&mut preds, &actuals);
+        // Bounded retry: attempt 0 runs with the configured seed (the
+        // clean path is unchanged); each retry after a caught panic bumps
+        // the DDPG seed deterministically so the re-training explores a
+        // different trajectory instead of replaying the same failure.
+        let mut deployed = false;
+        let mut attempts = 0u64;
+        for attempt in 0..REFRESH_ATTEMPTS {
+            attempts = attempt + 1;
+            let mut config = self.config.clone();
+            config.ddpg.seed = config.ddpg.seed.wrapping_add(7919 * attempt);
+            let mut fresh = EaDrlPolicy::new(config);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                fresh.warm_up(&preds, &actuals);
+            }));
+            match outcome {
+                Ok(()) => {
+                    if fresh.is_trained() {
+                        self.policy = fresh;
+                        self.refreshes += 1;
+                        deployed = true;
+                    }
+                    // A completed warm_up that declined to train signals a
+                    // data-size problem, not a transient — retrying with a
+                    // new seed cannot help, so stop either way.
+                    break;
+                }
+                Err(_) => {
+                    eadrl_obs::event(
+                        "eadrl.degraded",
+                        Level::Warn,
+                        &[
+                            ("context", "refresh".into()),
+                            ("attempt", attempt.into()),
+                            ("cause", cause.into()),
+                        ],
+                    );
+                }
+            }
         }
         eadrl_obs::event(
             "eadrl.online.refresh",
@@ -126,6 +198,7 @@ impl AdaptiveEaDrl {
                 ("cause", cause.into()),
                 ("buffer_len", self.history.len().into()),
                 ("deployed", deployed.into()),
+                ("attempts", attempts.into()),
                 ("refreshes_total", self.refreshes.into()),
             ],
         );

@@ -9,35 +9,42 @@
 //! setting — `crates/core/tests/par_determinism.rs` is the differential
 //! proof.
 
-use eadrl_models::{rolling_forecast, Forecaster};
+use eadrl_models::{fallback_forecast, Forecaster};
 use eadrl_obs::Level;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Fits every pool member on `fit_part` in parallel, preserving pool
 /// order. Returns the fitted members plus the names of the members the
 /// series could not support (also in pool order). A member whose `fit`
-/// panics is treated as unfittable rather than taking down the sweep.
+/// panics is dropped individually — its name is captured before the
+/// call, so the drop report stays precise even though the panicked
+/// model itself is discarded — instead of taking down the whole sweep.
 pub fn fit_pool(
     pool: Vec<Box<dyn Forecaster>>,
     fit_part: &[f64],
 ) -> (Vec<Box<dyn Forecaster>>, Vec<String>) {
     let fitted = eadrl_par::par_map(pool, |mut model| {
-        let outcome = model.fit(fit_part);
-        (model, outcome)
+        let name = model.name().to_string();
+        match catch_unwind(AssertUnwindSafe(|| model.fit(fit_part))) {
+            Ok(Ok(())) => Ok(model),
+            Ok(Err(_)) => Err(name),
+            Err(_) => Err(format!("{name} (fit panicked)")),
+        }
     });
     let mut kept = Vec::new();
     let mut dropped = Vec::new();
     match fitted {
         Ok(results) => {
-            for (model, outcome) in results {
+            for outcome in results {
                 match outcome {
-                    Ok(()) => kept.push(model),
-                    Err(_) => dropped.push(model.name().to_string()),
+                    Ok(model) => kept.push(model),
+                    Err(name) => dropped.push(name),
                 }
             }
         }
         Err(err) => {
-            // A panicking `fit` violates the Forecaster contract; keep
-            // the sweep alive by reporting the whole batch as dropped.
+            // Unreachable with the per-member catch above unless `name`
+            // or a destructor panics; keep the sweep alive regardless.
             eadrl_obs::warn(
                 "par.panic",
                 &[("context", format!("{err}").as_str().into())],
@@ -64,8 +71,7 @@ pub fn prediction_matrix(
     segment: &[f64],
 ) -> Vec<Vec<f64>> {
     let refs: Vec<&dyn Forecaster> = pool.iter().map(AsRef::as_ref).collect();
-    let per_model = match eadrl_par::par_map(refs, |model| rolling_forecast(model, train, segment))
-    {
+    let per_model = match eadrl_par::par_map(refs, |model| guarded_rolling(model, train, segment)) {
         Ok(columns) => columns,
         Err(err) => {
             eadrl_obs::event(
@@ -73,22 +79,67 @@ pub fn prediction_matrix(
                 Level::Warn,
                 &[("context", format!("{err}").as_str().into())],
             );
-            // Serial fallback keeps the forecast path alive; a panic in
-            // `predict_next` is a Forecaster-contract violation.
+            // Serial fallback keeps the forecast path alive; with the
+            // per-step guard inside `guarded_rolling` this is only
+            // reachable through a panicking destructor.
             pool.iter()
-                .map(|m| rolling_forecast(m.as_ref(), train, segment))
+                .map(|m| guarded_rolling(m.as_ref(), train, segment))
                 .collect()
         }
     };
+    // Fault telemetry is emitted *after* the index-ordered merge, never
+    // from inside a worker: worker-side emission would interleave events
+    // in thread-completion order and break the telemetry-determinism
+    // contract across `EADRL_PAR_THREADS` settings.
+    for (i, (column, faults)) in per_model.iter().enumerate() {
+        if *faults > 0 {
+            eadrl_obs::event(
+                "eadrl.degraded",
+                Level::Warn,
+                &[
+                    ("context", "prediction_matrix".into()),
+                    ("model", pool[i].name().into()),
+                    ("faults", (*faults).into()),
+                    ("steps", column.len().into()),
+                ],
+            );
+        }
+    }
     let mut rows = Vec::with_capacity(segment.len());
     for t in 0..segment.len() {
         let mut row = Vec::with_capacity(per_model.len());
-        for column in &per_model {
+        for (column, _) in &per_model {
             row.push(column[t]);
         }
         rows.push(row);
     }
     rows
+}
+
+/// [`eadrl_models::rolling_forecast`] with a per-step degradation
+/// guard: a step on which the model panics or emits a non-finite value
+/// contributes the documented history fallback instead of poisoning the
+/// column (or the whole sweep). On a well-behaved model this is
+/// call-for-call identical to the unguarded walk, so the clean-path
+/// matrix stays bitwise equal to the unguarded one. Returns the
+/// column plus its fault count; the caller owns fault telemetry (workers
+/// must not emit events — see `prediction_matrix`).
+fn guarded_rolling(model: &dyn Forecaster, train: &[f64], segment: &[f64]) -> (Vec<f64>, usize) {
+    let mut history = Vec::with_capacity(train.len() + segment.len());
+    history.extend_from_slice(train);
+    let mut out = Vec::with_capacity(segment.len());
+    let mut faults = 0usize;
+    for &actual in segment {
+        match crate::guard::guarded_call(model, &history, None) {
+            Ok(value) => out.push(value),
+            Err(_) => {
+                faults += 1;
+                out.push(fallback_forecast(&history));
+            }
+        }
+        history.push(actual);
+    }
+    (out, faults)
 }
 
 #[cfg(test)]
@@ -119,6 +170,70 @@ mod tests {
         assert_eq!(kept.len(), 3);
         assert_eq!(kept[0].name(), "Naive");
         assert_eq!(dropped, vec!["SeasonalNaive".to_string()]);
+    }
+
+    /// Misbehaving member for hardening tests: panics in `fit` and/or
+    /// emits NaN every `nan_every`-th prediction.
+    #[derive(Debug, Clone)]
+    struct Misbehaving {
+        panic_on_fit: bool,
+        nan_every: usize,
+    }
+
+    impl Forecaster for Misbehaving {
+        fn name(&self) -> &str {
+            "Misbehaving"
+        }
+        fn fit(&mut self, _s: &[f64]) -> Result<(), eadrl_models::ModelError> {
+            if self.panic_on_fit {
+                panic!("injected fit panic");
+            }
+            Ok(())
+        }
+        fn predict_next(&self, history: &[f64]) -> f64 {
+            if self.nan_every > 0 && history.len() % self.nan_every == 0 {
+                f64::NAN
+            } else {
+                history.last().copied().unwrap_or(0.0) + 1.0
+            }
+        }
+        fn box_clone(&self) -> Box<dyn Forecaster> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn panicking_fit_drops_only_the_offender() {
+        let s = series(120);
+        let mut p = pool();
+        p.push(Box::new(Misbehaving {
+            panic_on_fit: true,
+            nan_every: 0,
+        }));
+        let (kept, dropped) = fit_pool(p, &s);
+        assert_eq!(kept.len(), 3, "healthy members survive a peer's panic");
+        assert_eq!(dropped, vec!["Misbehaving (fit panicked)".to_string()]);
+    }
+
+    #[test]
+    fn non_finite_prediction_steps_fall_back_instead_of_poisoning() {
+        let s = series(150);
+        let (train, seg) = s.split_at(120);
+        let faulty: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(Naive),
+            Box::new(Misbehaving {
+                panic_on_fit: false,
+                nan_every: 7,
+            }),
+        ];
+        let rows = prediction_matrix(&faulty, train, seg);
+        assert_eq!(rows.len(), seg.len());
+        for (t, row) in rows.iter().enumerate() {
+            assert!(
+                row.iter().all(|v| v.is_finite()),
+                "non-finite entry leaked at step {t}: {row:?}"
+            );
+        }
     }
 
     #[test]

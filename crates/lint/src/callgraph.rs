@@ -33,6 +33,13 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Crates that are build/analysis tooling, not forecast-producing
+/// library surface. They are dev-dependencies only — never linked into
+/// production binaries — so the graph excludes their trait impls from
+/// decl fan-out (library code cannot dispatch to them at runtime), and
+/// the deep passes exclude their pub fns from the verdict table.
+pub const TOOL_CRATES: &[&str] = &["bench", "lint", "prof", "ptest", "sim"];
+
 /// One fn node in the graph. Metadata is copied out of the [`FileAst`]s
 /// so passes can work off the graph alone; `file`/`fn_idx` point back at
 /// the full [`crate::ast::FnDef`] (sites, calls) when needed.
@@ -145,16 +152,25 @@ impl CallGraph {
         }
 
         // Trait-decl fan-out: a call landing on `trait T { fn m(…); }`
-        // reaches every `impl T for X { fn m … }`.
+        // reaches every `impl T for X { fn m … }` — except implementors
+        // living in tool crates when the decl does not: tool crates are
+        // dev-only, so e.g. eadrl-sim's deliberately faulty `Forecaster`
+        // proxies can never be dispatch targets of production code, and
+        // routing library chains through their injected panics would
+        // poison every caller of the trait.
         let mut fanout: Vec<(usize, Edge)> = Vec::new();
         for (id, n) in nodes.iter().enumerate() {
             let def = &asts[n.file].fns[n.fn_idx];
             if !def.in_trait_decl {
                 continue;
             }
+            let decl_is_tool = TOOL_CRATES.contains(&n.crate_name.as_str());
             let trait_name = def.self_type.clone();
             for (tid, tn) in nodes.iter().enumerate() {
                 if tid == id || tn.is_test || !tn.is_lib || tn.name != n.name {
+                    continue;
+                }
+                if !decl_is_tool && TOOL_CRATES.contains(&tn.crate_name.as_str()) {
                     continue;
                 }
                 let tdef = &asts[tn.file].fns[tn.fn_idx];
@@ -608,6 +624,28 @@ mod tests {
         assert!(has_edge(&g, "core::Model::fit", "core::A::fit"));
         assert!(has_edge(&g, "core::Model::fit", "core::B::fit"));
         assert!(has_edge(&g, "core::A::fit", "core::a_only"));
+    }
+
+    #[test]
+    fn trait_fanout_skips_tool_crate_implementors() {
+        // `sim` is in TOOL_CRATES: its fault-injection proxies implement
+        // library traits but are dev-only, so a library trait decl must
+        // not fan out into them (their injected panics would otherwise
+        // taint every production caller of the trait).
+        let (_, g) = build(&[
+            (
+                "crates/models/src/m.rs",
+                "pub trait Model { fn fit(&mut self); }\n\
+                 pub struct Real; impl Model for Real { fn fit(&mut self) {} }\n",
+            ),
+            (
+                "crates/sim/src/proxy.rs",
+                "use eadrl_models::Model;\n\
+                 pub struct Faulty; impl Model for Faulty { fn fit(&mut self) { panic!(\"injected\") } }\n",
+            ),
+        ]);
+        assert!(has_edge(&g, "models::Model::fit", "models::Real::fit"));
+        assert!(!has_edge(&g, "models::Model::fit", "sim::Faulty::fit"));
     }
 
     #[test]

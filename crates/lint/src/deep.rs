@@ -27,6 +27,7 @@
 //! they *used*, feeding the `stale-allow` check.
 
 use crate::ast::{self, FileAst, SiteKind};
+pub use crate::callgraph::TOOL_CRATES;
 use crate::callgraph::{workspace_deps, CallGraph};
 use crate::rules::{Finding, HOT_RULE, PANIC_RULE, STALE_RULE, TAINT_RULE};
 use crate::source::{SourceFile, Suppression};
@@ -34,10 +35,6 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-
-/// Crates that are build/analysis tooling, not forecast-producing
-/// library surface — excluded from the panic verdict table.
-pub const TOOL_CRATES: &[&str] = &["bench", "lint", "prof", "ptest"];
 
 /// Fn names that root the determinism-taint traversal (the
 /// forecast-producing entry points).

@@ -31,6 +31,55 @@ impl std::fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+/// Errors surfaced by the checked prediction path
+/// ([`Forecaster::try_predict_next`]).
+///
+/// `predict_next` itself is infallible by contract — implementations fall
+/// back rather than fail — but a *misbehaving* member (numerical blow-up,
+/// contract violation, injected fault) can still emit a non-finite value
+/// or overrun the serving deadline. The checked path classifies those so
+/// the serving guard (`eadrl-core`'s `PoolGuard`) can mask the member
+/// instead of letting one bad output poison the ensemble dot product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The model returned NaN or ±Inf; `bits` preserves the exact payload
+    /// for diagnostics (NaN payloads are otherwise lost in formatting).
+    NonFinite {
+        /// Raw IEEE-754 bits of the offending output.
+        bits: u64,
+    },
+    /// The model's declared per-call cost exceeds the serving budget.
+    ///
+    /// Enforcement is deterministic by design: the cost comes from
+    /// [`Forecaster::cost_hint_us`], never from a wall clock — clock
+    /// reads on the forecast path would break the repo's bitwise
+    /// reproducibility contract (see the `determinism` lint). Real
+    /// latency overruns are caught offline by the `eadrl-prof` trace
+    /// gate; this variant lets budget policy be tested and enforced
+    /// deterministically.
+    BudgetExceeded {
+        /// Declared per-call cost in microseconds.
+        cost_us: u64,
+        /// The serving budget it exceeded.
+        budget_us: u64,
+    },
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NonFinite { bits } => {
+                write!(f, "non-finite forecast: {}", f64::from_bits(*bits))
+            }
+            PredictError::BudgetExceeded { cost_us, budget_us } => {
+                write!(f, "per-call cost {cost_us}µs exceeds budget {budget_us}µs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
 /// A one-step-ahead univariate forecaster.
 ///
 /// The contract mirrors how the paper uses base models:
@@ -61,6 +110,32 @@ pub trait Forecaster: Send + Sync {
     /// Predicts the value following `history` (oldest first). `history`
     /// always contains at least one value.
     fn predict_next(&self, history: &[f64]) -> f64;
+
+    /// Checked prediction: like [`Forecaster::predict_next`] but classifies
+    /// a non-finite output as [`PredictError::NonFinite`] instead of
+    /// returning it. The serving guard calls this (under `catch_unwind`)
+    /// so one misbehaving pool member degrades gracefully instead of
+    /// poisoning the ensemble. The default implementation is correct for
+    /// every well-behaved model; override only to surface richer errors.
+    fn try_predict_next(&self, history: &[f64]) -> Result<f64, PredictError> {
+        let value = self.predict_next(history);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(PredictError::NonFinite {
+                bits: value.to_bits(),
+            })
+        }
+    }
+
+    /// Declared worst-case per-call cost in microseconds, if the model
+    /// knows one. `None` (the default) opts out of deterministic
+    /// latency-budget enforcement — the guard never clocks calls (that
+    /// would break bitwise reproducibility); it only compares this
+    /// self-declared figure against the configured budget.
+    fn cost_hint_us(&self) -> Option<u64> {
+        None
+    }
 
     /// Clones the fitted model into a box (object-safe clone).
     fn box_clone(&self) -> Box<dyn Forecaster>;
@@ -160,6 +235,53 @@ mod tests {
             m.fit(&[]),
             Err(ModelError::SeriesTooShort { needed: 1, got: 0 })
         ));
+    }
+
+    #[test]
+    fn try_predict_next_passes_finite_values_through() {
+        let mut m = MeanModel { mean: 0.0 };
+        m.fit(&[1.0, 3.0]).unwrap();
+        assert_eq!(m.try_predict_next(&[5.0]), Ok(2.0));
+    }
+
+    #[test]
+    fn try_predict_next_classifies_non_finite_output() {
+        struct NanModel;
+        impl Forecaster for NanModel {
+            fn name(&self) -> &str {
+                "NaN"
+            }
+            fn fit(&mut self, _s: &[f64]) -> Result<(), ModelError> {
+                Ok(())
+            }
+            fn predict_next(&self, _h: &[f64]) -> f64 {
+                f64::NAN
+            }
+            fn box_clone(&self) -> Box<dyn Forecaster> {
+                Box::new(NanModel)
+            }
+        }
+        match NanModel.try_predict_next(&[1.0]) {
+            Err(PredictError::NonFinite { bits }) => {
+                assert!(f64::from_bits(bits).is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert_eq!(NanModel.cost_hint_us(), None);
+    }
+
+    #[test]
+    fn predict_error_display_is_informative() {
+        let e = PredictError::NonFinite {
+            bits: f64::INFINITY.to_bits(),
+        };
+        assert!(e.to_string().contains("inf"));
+        let e2 = PredictError::BudgetExceeded {
+            cost_us: 900,
+            budget_us: 250,
+        };
+        assert!(e2.to_string().contains("900"));
+        assert!(e2.to_string().contains("250"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod tree;
 
 pub use arima::Arima;
 pub use ets::{Ets, EtsKind};
-pub use forecaster::{fallback_forecast, rolling_forecast, Forecaster, ModelError};
+pub use forecaster::{fallback_forecast, rolling_forecast, Forecaster, ModelError, PredictError};
 pub use gbm::gradient_boosting;
 pub use gp::gaussian_process;
 pub use linear::auto_regressive;

@@ -1,0 +1,151 @@
+//! Chaos-suite driver.
+//!
+//! ```text
+//! chaos run [--unhardened] [--json] [--plan FILE]
+//! ```
+//!
+//! `run` drives the standard chaos scenarios (plus the drift-refresh
+//! scenario) through the hardened serving path and exits non-zero if
+//! any degradation invariant is violated. With `--unhardened` the same
+//! fault plans run through the deliberately naive serving loop instead;
+//! violations are then *expected*, so CI invokes it inverted
+//! (`! chaos run --unhardened`) — if the naive loop ever stops
+//! violating, the fault injection itself has rotted. `--plan FILE`
+//! replaces the standard plans with one loaded from disk; `--json`
+//! emits a machine-readable summary line per scenario.
+
+use eadrl_sim::{
+    run_refresh_scenario, run_scenario, run_unhardened, standard_scenarios, FaultPlan, Scenario,
+    ScenarioOutcome,
+};
+use std::process::ExitCode;
+
+struct Options {
+    unhardened: bool,
+    json: bool,
+    plan: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: chaos run [--unhardened] [--json] [--plan FILE]");
+    ExitCode::from(2)
+}
+
+fn summarize(outcome: &ScenarioOutcome, json: bool) {
+    if json {
+        // Tool-output JSON assembled by hand, same as the lint driver:
+        // the workspace has no serializer dependency by design.
+        let violations: Vec<String> = outcome
+            .report
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        println!(
+            "{{\"scenario\":\"{}\",\"steps\":{},\"events\":{},\"quarantine_enters\":{},\
+             \"quarantine_exits\":{},\"degraded\":{},\"sanitize\":{},\
+             \"fingerprint\":\"{:016x}\",\"violations\":[{}]}}",
+            outcome.name,
+            outcome.report.checked_steps,
+            outcome.report.checked_events,
+            outcome.quarantine_enters,
+            outcome.quarantine_exits,
+            outcome.degraded_events,
+            outcome.sanitize_events,
+            outcome.telemetry_fingerprint(),
+            violations.join(",")
+        );
+    } else {
+        println!(
+            "scenario {:<28} steps {:>3}  events {:>5}  quarantine {}/{}  degraded {:>3}  \
+             sanitize {:>3}  fingerprint {:016x}  {}",
+            outcome.name,
+            outcome.report.checked_steps,
+            outcome.report.checked_events,
+            outcome.quarantine_enters,
+            outcome.quarantine_exits,
+            outcome.degraded_events,
+            outcome.sanitize_events,
+            outcome.telemetry_fingerprint(),
+            if outcome.report.passed() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL ({} violations)", outcome.report.violations.len())
+            }
+        );
+        for violation in &outcome.report.violations {
+            println!("  violation: {violation}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("run") {
+        return usage();
+    }
+    let mut opts = Options {
+        unhardened: false,
+        json: false,
+        plan: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--unhardened" => opts.unhardened = true,
+            "--json" => opts.json = true,
+            "--plan" => match args.next() {
+                Some(path) => opts.plan = Some(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let scenarios = match &opts.plan {
+        None => standard_scenarios(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("chaos: cannot read plan `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match FaultPlan::parse(&text) {
+                Ok(plan) => vec![Scenario::new(path, plan, 7)],
+                Err(e) => {
+                    eprintln!("chaos: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut failed = false;
+    for scenario in &scenarios {
+        let outcome = if opts.unhardened {
+            run_unhardened(scenario)
+        } else {
+            run_scenario(scenario)
+        };
+        failed |= !outcome.report.passed();
+        summarize(&outcome, opts.json);
+    }
+    if !opts.unhardened && opts.plan.is_none() {
+        // The drift-refresh phase rides along on the hardened suite.
+        let mut refresh = Scenario::new(
+            "drift-refresh",
+            FaultPlan::parse("seed 5\ngap 30 4\n").expect("static plan parses"),
+            404,
+        );
+        refresh.series_len = 300;
+        let outcome = run_refresh_scenario(&refresh);
+        failed |= !outcome.report.passed();
+        summarize(&outcome, opts.json);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

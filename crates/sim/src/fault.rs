@@ -1,0 +1,437 @@
+//! Declarative fault plans.
+//!
+//! A [`FaultPlan`] describes, in a line-oriented textual format that can
+//! be committed next to the test that replays it, exactly which pool
+//! members misbehave and how, plus any gap bursts injected into the
+//! observed history stream. Plans are fully deterministic: probabilistic
+//! faults draw from a [`eadrl_rng::DetRng`] substream derived from the
+//! plan seed and the per-model call index, never from ambient entropy.
+//!
+//! # Plan format
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! seed 7
+//! model 1 panic_at 5            # call #5 (0-based) panics
+//! model 2 panic_every 4         # every 4th call panics
+//! model 3 nonfinite_every 3 nan # every 3rd call returns NaN (inf / -inf)
+//! model 8 nonfinite_burst 40 6 inf # calls 40..46 return +Inf, then recover
+//! model 4 stale_from 10         # from call #10 on: frozen last-good output
+//! model 5 slow_every 2 cost 900 # every 2nd inquiry declares a 900µs cost
+//! model 6 flaky 0.25            # NaN with probability 0.25 (plan-seeded)
+//! model 7 fail_fit              # fit panics
+//! gap 12 3                      # history steps 12..15 observed as NaN
+//! ```
+
+use eadrl_rng::DetRng;
+
+/// How one pool member misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Panics on exactly call `call` (0-based call index).
+    PanicAtCall {
+        /// The offending call index.
+        call: u64,
+    },
+    /// Panics on every `n`-th call (calls `n-1`, `2n-1`, …).
+    PanicEveryNth {
+        /// Period in calls.
+        n: u64,
+    },
+    /// Returns the given non-finite value on every `n`-th call.
+    NonFiniteEveryNth {
+        /// Period in calls.
+        n: u64,
+        /// Which non-finite value to emit.
+        value: NonFinite,
+    },
+    /// Returns the given non-finite value on `len` *consecutive* calls
+    /// starting at call `from`, then recovers. Consecutive faults are
+    /// what drives a member over the quarantine threshold, and the
+    /// recovery afterwards is what earns re-entry — this is the kind
+    /// that exercises the full health state machine.
+    NonFiniteBurst {
+        /// First faulting call index.
+        from: u64,
+        /// Number of consecutive faulting calls.
+        len: u64,
+        /// Which non-finite value to emit.
+        value: NonFinite,
+    },
+    /// From call `call` on, returns the last clean output forever — the
+    /// "silently wedged model" failure mode (output stays finite, so only
+    /// accuracy-level checks can see it; the harness uses it to prove the
+    /// guard does NOT fire on merely-stale members).
+    StaleFromCall {
+        /// First wedged call index.
+        call: u64,
+    },
+    /// Declares a per-call cost of `cost_us` on every `n`-th *cost
+    /// inquiry* — a deterministic stand-in for a latency-budget overrun
+    /// (the guard compares the declared cost to its configured budget;
+    /// no wall clock is involved).
+    SlowEveryNth {
+        /// Period in cost inquiries.
+        n: u64,
+        /// Declared cost (µs) on the slow inquiries.
+        cost_us: u64,
+    },
+    /// Returns NaN with probability `p` per call, drawn from a plan-seeded
+    /// `DetRng` substream keyed by the call index (deterministic across
+    /// runs and thread counts).
+    Flaky {
+        /// Per-call fault probability in `[0, 1]`.
+        p: f64,
+    },
+    /// `fit` panics; the member never joins the pool.
+    FailFit,
+}
+
+/// The non-finite value an injected fault emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonFinite {
+    /// `f64::NAN`.
+    Nan,
+    /// `f64::INFINITY`.
+    Inf,
+    /// `f64::NEG_INFINITY`.
+    NegInf,
+}
+
+impl NonFinite {
+    /// The injected value.
+    pub fn value(self) -> f64 {
+        match self {
+            NonFinite::Nan => f64::NAN,
+            NonFinite::Inf => f64::INFINITY,
+            NonFinite::NegInf => f64::NEG_INFINITY,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            NonFinite::Nan => "nan",
+            NonFinite::Inf => "inf",
+            NonFinite::NegInf => "-inf",
+        }
+    }
+}
+
+/// A fault assignment for one pool member.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelFault {
+    /// Pool index of the member this fault attaches to.
+    pub model: usize,
+    /// The misbehaviour.
+    pub kind: FaultKind,
+}
+
+/// A burst of missing observations in the served history stream: the
+/// scenario runner replaces `len` consecutive actuals starting at online
+/// step `at_step` with NaN before they reach the forecaster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapBurst {
+    /// First online step observed as NaN (0-based).
+    pub at_step: usize,
+    /// Number of consecutive NaN observations.
+    pub len: usize,
+}
+
+impl GapBurst {
+    /// True when online step `step` falls inside this burst.
+    pub fn covers(&self, step: usize) -> bool {
+        step >= self.at_step && step < self.at_step + self.len
+    }
+}
+
+/// A complete declarative fault plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the plan's deterministic substreams (flaky faults).
+    pub seed: u64,
+    /// Per-member fault assignments.
+    pub model_faults: Vec<ModelFault>,
+    /// Gap bursts in the observed history stream.
+    pub gaps: Vec<GapBurst>,
+}
+
+/// A malformed plan line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// The fault assigned to pool member `model`, if any.
+    pub fn fault_for(&self, model: usize) -> Option<FaultKind> {
+        self.model_faults
+            .iter()
+            .find(|f| f.model == model)
+            .map(|f| f.kind)
+    }
+
+    /// The deterministic substream for member `model` (flaky faults key
+    /// their per-call draws off this, combined with the call index).
+    pub fn substream(&self, model: usize) -> DetRng {
+        DetRng::seed_from_u64(self.seed).substream(model as u64)
+    }
+
+    /// True when online step `step` is covered by any gap burst.
+    pub fn gapped(&self, step: usize) -> bool {
+        self.gaps.iter().any(|g| g.covers(step))
+    }
+
+    /// Parses the textual plan format (see the module docs).
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| PlanParseError {
+                line: line_no,
+                message,
+            };
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens[0] {
+                "seed" => {
+                    plan.seed = parse_num(&tokens, 1, "seed value").map_err(&err)?;
+                }
+                "gap" => {
+                    plan.gaps.push(GapBurst {
+                        at_step: parse_num(&tokens, 1, "gap start step").map_err(&err)?,
+                        len: parse_num(&tokens, 2, "gap length").map_err(&err)?,
+                    });
+                }
+                "model" => {
+                    let model: usize = parse_num(&tokens, 1, "model index").map_err(&err)?;
+                    let verb = *tokens
+                        .get(2)
+                        .ok_or_else(|| err("missing fault kind".into()))?;
+                    let kind = match verb {
+                        "panic_at" => FaultKind::PanicAtCall {
+                            call: parse_num(&tokens, 3, "call index").map_err(&err)?,
+                        },
+                        "panic_every" => FaultKind::PanicEveryNth {
+                            n: parse_period(&tokens, 3).map_err(&err)?,
+                        },
+                        "nonfinite_every" => FaultKind::NonFiniteEveryNth {
+                            n: parse_period(&tokens, 3).map_err(&err)?,
+                            value: match tokens.get(4).copied().unwrap_or("nan") {
+                                "nan" => NonFinite::Nan,
+                                "inf" => NonFinite::Inf,
+                                "-inf" => NonFinite::NegInf,
+                                other => {
+                                    return Err(err(format!("unknown non-finite value `{other}`")))
+                                }
+                            },
+                        },
+                        "nonfinite_burst" => FaultKind::NonFiniteBurst {
+                            from: parse_num(&tokens, 3, "burst start call").map_err(&err)?,
+                            len: parse_period(&tokens, 4).map_err(&err)?,
+                            value: match tokens.get(5).copied().unwrap_or("nan") {
+                                "nan" => NonFinite::Nan,
+                                "inf" => NonFinite::Inf,
+                                "-inf" => NonFinite::NegInf,
+                                other => {
+                                    return Err(err(format!("unknown non-finite value `{other}`")))
+                                }
+                            },
+                        },
+                        "stale_from" => FaultKind::StaleFromCall {
+                            call: parse_num(&tokens, 3, "call index").map_err(&err)?,
+                        },
+                        "slow_every" => {
+                            if tokens.get(4) != Some(&"cost") {
+                                return Err(err("expected `slow_every N cost MICROS`".into()));
+                            }
+                            FaultKind::SlowEveryNth {
+                                n: parse_period(&tokens, 3).map_err(&err)?,
+                                cost_us: parse_num(&tokens, 5, "cost (µs)").map_err(&err)?,
+                            }
+                        }
+                        "flaky" => {
+                            let p: f64 = tokens
+                                .get(3)
+                                .ok_or("missing probability".to_string())
+                                .and_then(|t| {
+                                    t.parse().map_err(|_| format!("bad probability `{t}`"))
+                                })
+                                .map_err(&err)?;
+                            if !(0.0..=1.0).contains(&p) {
+                                return Err(err(format!("probability {p} outside [0, 1]")));
+                            }
+                            FaultKind::Flaky { p }
+                        }
+                        "fail_fit" => FaultKind::FailFit,
+                        other => return Err(err(format!("unknown fault kind `{other}`"))),
+                    };
+                    if plan.fault_for(model).is_some() {
+                        return Err(err(format!("model {model} already has a fault")));
+                    }
+                    plan.model_faults.push(ModelFault { model, kind });
+                }
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Writes the plan back in its textual format; `parse` round-trips it.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "seed {}", self.seed)?;
+        for mf in &self.model_faults {
+            write!(f, "model {} ", mf.model)?;
+            match mf.kind {
+                FaultKind::PanicAtCall { call } => writeln!(f, "panic_at {call}")?,
+                FaultKind::PanicEveryNth { n } => writeln!(f, "panic_every {n}")?,
+                FaultKind::NonFiniteEveryNth { n, value } => {
+                    writeln!(f, "nonfinite_every {n} {}", value.label())?
+                }
+                FaultKind::NonFiniteBurst { from, len, value } => {
+                    writeln!(f, "nonfinite_burst {from} {len} {}", value.label())?
+                }
+                FaultKind::StaleFromCall { call } => writeln!(f, "stale_from {call}")?,
+                FaultKind::SlowEveryNth { n, cost_us } => {
+                    writeln!(f, "slow_every {n} cost {cost_us}")?
+                }
+                FaultKind::Flaky { p } => writeln!(f, "flaky {p}")?,
+                FaultKind::FailFit => writeln!(f, "fail_fit")?,
+            }
+        }
+        for g in &self.gaps {
+            writeln!(f, "gap {} {}", g.at_step, g.len)?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tokens: &[&str], idx: usize, what: &str) -> Result<T, String> {
+    tokens
+        .get(idx)
+        .ok_or(format!("missing {what}"))
+        .and_then(|t| t.parse().map_err(|_| format!("bad {what} `{t}`")))
+}
+
+fn parse_period(tokens: &[&str], idx: usize) -> Result<u64, String> {
+    let n: u64 = parse_num(tokens, idx, "period")?;
+    if n == 0 {
+        return Err("period must be >= 1".into());
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# sample plan
+seed 42
+model 0 panic_at 5
+model 1 panic_every 4
+model 2 nonfinite_every 3 inf
+model 3 stale_from 10
+model 4 slow_every 2 cost 900
+model 5 flaky 0.25
+model 6 fail_fit
+model 7 nonfinite_burst 40 6 -inf
+gap 12 3
+";
+
+    #[test]
+    fn parses_every_fault_kind() {
+        let plan = FaultPlan::parse(SAMPLE).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.model_faults.len(), 8);
+        assert_eq!(plan.fault_for(0), Some(FaultKind::PanicAtCall { call: 5 }));
+        assert_eq!(
+            plan.fault_for(2),
+            Some(FaultKind::NonFiniteEveryNth {
+                n: 3,
+                value: NonFinite::Inf
+            })
+        );
+        assert_eq!(plan.fault_for(6), Some(FaultKind::FailFit));
+        assert_eq!(
+            plan.fault_for(7),
+            Some(FaultKind::NonFiniteBurst {
+                from: 40,
+                len: 6,
+                value: NonFinite::NegInf
+            })
+        );
+        assert_eq!(plan.fault_for(8), None);
+        assert_eq!(
+            plan.gaps,
+            vec![GapBurst {
+                at_step: 12,
+                len: 3
+            }]
+        );
+        assert!(plan.gapped(13));
+        assert!(!plan.gapped(15));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let plan = FaultPlan::parse(SAMPLE).unwrap();
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("model x panic_at 1", "model index"),
+            ("model 0 warp 3", "unknown fault kind"),
+            ("model 0 panic_every 0", "period"),
+            ("model 0 flaky 1.5", "outside"),
+            ("model 0 slow_every 2 price 5", "cost"),
+            ("teleport 9", "unknown directive"),
+            ("model 0 panic_at 1\nmodel 0 fail_fit", "already has"),
+        ] {
+            let e = FaultPlan::parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "`{text}` → `{e}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let plan = FaultPlan::parse("\n# nothing\n   \nseed 3 # trailing\n").unwrap();
+        assert_eq!(plan.seed, 3);
+        assert!(plan.model_faults.is_empty());
+    }
+
+    #[test]
+    fn substreams_are_distinct_and_reproducible() {
+        let plan = FaultPlan {
+            seed: 9,
+            ..FaultPlan::default()
+        };
+        let mut s0 = plan.substream(0);
+        let mut s0b = plan.substream(0);
+        let mut s1 = plan.substream(1);
+        let x0 = s0.next_u64();
+        assert_eq!(x0, s0b.next_u64(), "same substream, same stream");
+        assert_ne!(x0, s1.next_u64(), "distinct substreams diverge");
+    }
+}

@@ -38,7 +38,15 @@ impl PageHinkley {
 
     /// Feeds one observation; returns `true` when drift is signalled.
     /// On detection the detector resets itself.
+    ///
+    /// Non-finite observations are ignored without touching any state: a
+    /// single NaN error sample would otherwise poison the running mean
+    /// and silence the detector forever — exactly the failure mode the
+    /// serving path's degradation harness injects.
     pub fn update(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
         self.count += 1;
         self.running_mean += (value - self.running_mean) / self.count as f64;
         self.cumulative += value - self.running_mean - self.delta;
@@ -91,7 +99,14 @@ impl AdaptiveWindowDetector {
     }
 
     /// Feeds one observation; returns `true` when a mean shift is detected.
+    ///
+    /// Non-finite observations are ignored without entering the window
+    /// (same rationale as [`PageHinkley::update`]: one NaN would make
+    /// every sub-window mean NaN and disable detection permanently).
     pub fn update(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
         self.window.push(value);
         if self.window.len() > self.max_len {
             self.window.remove(0);
@@ -210,6 +225,41 @@ mod tests {
             assert!(!d.update(5.0), "false positive at {i}");
         }
         assert!((d.window_mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_observations_do_not_poison_detectors() {
+        let mut ph = PageHinkley::new(0.05, 5.0);
+        for _ in 0..50 {
+            ph.update(1.0);
+        }
+        assert!(!ph.update(f64::NAN));
+        assert!(!ph.update(f64::INFINITY));
+        assert_eq!(ph.observations(), 50, "non-finite values must not count");
+        // The detector still works after the bad samples.
+        let mut detected = false;
+        for _ in 0..100 {
+            if ph.update(3.0) {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "NaN input disabled Page–Hinkley");
+
+        let mut d = AdaptiveWindowDetector::new(100, 0.002);
+        for _ in 0..50 {
+            d.update(0.0);
+        }
+        assert!(!d.update(f64::NAN));
+        assert_eq!(d.window_len(), 50, "NaN must not enter the window");
+        let mut detected = false;
+        for _ in 0..100 {
+            if d.update(10.0) {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "NaN input disabled the adaptive window");
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //! * [`transform`] — z-score and min-max scalers, differencing,
 //! * [`stats`] — autocorrelation, partial autocorrelation, rolling moments,
 //! * [`drift`] — Page–Hinkley and adaptive-window drift detectors (used by
-//!   the DEMSC baseline's informed update mechanism).
+//!   the DEMSC baseline's informed update mechanism),
+//! * [`sanitize`] — non-finite/gap repair for serving-path input
+//!   histories (forward-fill policy, documented in the module).
 
 pub mod decompose;
 pub mod drift;
 pub mod embedding;
 pub mod io;
 pub mod metrics;
+pub mod sanitize;
 pub mod series;
 pub mod stats;
 pub mod transform;
@@ -25,5 +28,6 @@ pub use drift::{AdaptiveWindowDetector, PageHinkley};
 pub use embedding::{embed, sliding_windows, Embedded};
 pub use io::{read_csv_column, read_csv_file, write_csv, IoError};
 pub use metrics::{mae, mape, mse, nrmse, r2, rmse, smape};
+pub use sanitize::{sanitize_series, SanitizeStats};
 pub use series::{Frequency, TimeSeries};
 pub use transform::{difference, undifference, MinMaxScaler, Scaler, ZScoreScaler};

@@ -1,0 +1,142 @@
+//! Input-history sanitization for the online serving path.
+//!
+//! Real telemetry streams contain gaps: a sensor drops out, an upstream
+//! join emits NaN, a loader encodes missing values as ±Inf. A single
+//! non-finite value in the history poisons every downstream dot product
+//! (z-scored embeddings, AR lag vectors, the policy's state window), so
+//! the serving path repairs its inputs *before* any model sees them.
+//!
+//! # Fill policy (documented contract)
+//!
+//! * A non-finite value is replaced by the **last preceding finite**
+//!   value (forward fill / last-observation-carried-forward). This is
+//!   the standard streaming repair: it is causal (never reads the
+//!   future), idempotent, and keeps the series level through a gap
+//!   burst instead of injecting artificial jumps.
+//! * **Leading** non-finite values (no finite predecessor) are
+//!   back-filled from the **first finite** value in the series.
+//! * A series with **no finite value at all** is filled with `0.0`;
+//!   callers treat the accompanying stats (`replaced == len`) as a
+//!   hard degradation signal rather than a normal repair.
+//!
+//! The sanitizer is allocation-free on the clean path: it scans first
+//! and only copies when a repair is actually needed, so fault-free
+//! serving remains byte-identical to the unsanitized pipeline.
+
+/// What a sanitization pass did — the payload of the serving layer's
+/// `eadrl.sanitize` telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanitizeStats {
+    /// Total non-finite values replaced.
+    pub replaced: usize,
+    /// How many of those were leading values (back-filled).
+    pub leading: usize,
+    /// Length of the scanned series.
+    pub len: usize,
+}
+
+/// Repairs non-finite values in `series` under the module's fill policy.
+///
+/// Returns `None` when the series is already clean (the common case —
+/// no allocation, no copy), otherwise the repaired copy plus statistics
+/// describing the repair.
+///
+/// ```
+/// use eadrl_timeseries::sanitize::sanitize_series;
+///
+/// assert!(sanitize_series(&[1.0, 2.0, 3.0]).is_none());
+/// let (fixed, stats) = sanitize_series(&[f64::NAN, 2.0, f64::INFINITY, 4.0]).unwrap();
+/// assert_eq!(fixed, vec![2.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(stats.replaced, 2);
+/// assert_eq!(stats.leading, 1);
+/// ```
+pub fn sanitize_series(series: &[f64]) -> Option<(Vec<f64>, SanitizeStats)> {
+    let dirty = series.iter().filter(|v| !v.is_finite()).count();
+    if dirty == 0 {
+        return None;
+    }
+    let first_finite = series.iter().copied().find(|v| v.is_finite());
+    let mut out = Vec::with_capacity(series.len());
+    let mut leading = 0usize;
+    match first_finite {
+        None => {
+            // Nothing observable to carry — fill flat at zero and let the
+            // caller treat `replaced == len` as a hard failure.
+            out.resize(series.len(), 0.0);
+            leading = series.len();
+        }
+        Some(seed) => {
+            let mut last = seed;
+            let mut seen_finite = false;
+            for &v in series {
+                if v.is_finite() {
+                    seen_finite = true;
+                    last = v;
+                    out.push(v);
+                } else {
+                    if !seen_finite {
+                        leading += 1;
+                    }
+                    out.push(last);
+                }
+            }
+        }
+    }
+    Some((
+        out,
+        SanitizeStats {
+            replaced: dirty,
+            leading,
+            len: series.len(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_series_returns_none() {
+        assert!(sanitize_series(&[]).is_none());
+        assert!(sanitize_series(&[1.0, -2.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn forward_fill_carries_last_finite_value() {
+        let (fixed, stats) =
+            sanitize_series(&[1.0, f64::NAN, f64::NAN, 4.0, f64::NEG_INFINITY]).unwrap();
+        assert_eq!(fixed, vec![1.0, 1.0, 1.0, 4.0, 4.0]);
+        assert_eq!(
+            stats,
+            SanitizeStats {
+                replaced: 3,
+                leading: 0,
+                len: 5
+            }
+        );
+    }
+
+    #[test]
+    fn leading_gap_is_back_filled_from_first_finite() {
+        let (fixed, stats) = sanitize_series(&[f64::NAN, f64::NAN, 7.0, f64::NAN]).unwrap();
+        assert_eq!(fixed, vec![7.0, 7.0, 7.0, 7.0]);
+        assert_eq!(stats.leading, 2);
+        assert_eq!(stats.replaced, 3);
+    }
+
+    #[test]
+    fn all_non_finite_fills_zero_and_reports_total_loss() {
+        let (fixed, stats) = sanitize_series(&[f64::NAN, f64::INFINITY]).unwrap();
+        assert_eq!(fixed, vec![0.0, 0.0]);
+        assert_eq!(stats.replaced, 2);
+        assert_eq!(stats.leading, 2);
+        assert_eq!(stats.len, 2);
+    }
+
+    #[test]
+    fn sanitization_is_idempotent() {
+        let (fixed, _) = sanitize_series(&[f64::NAN, 3.0, f64::NAN]).unwrap();
+        assert!(sanitize_series(&fixed).is_none());
+    }
+}

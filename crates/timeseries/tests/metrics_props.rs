@@ -1,0 +1,118 @@
+//! Property suite for the forecast accuracy metrics — the laws the
+//! degradation harness leans on when it feeds repaired (sanitized)
+//! series back into evaluation: boundedness, symmetry, zero-actual
+//! handling, and NaN signalling on malformed input.
+
+use eadrl_ptest::prelude::*;
+use eadrl_timeseries::metrics::{mae, mape, mse, nrmse, r2, rmse, smape};
+
+/// Unzips generated `(actual, predicted)` pairs into metric arguments.
+fn unzip(pairs: &[(f64, f64)]) -> (Vec<f64>, Vec<f64>) {
+    pairs.iter().copied().unzip()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn smape_is_bounded_in_0_200(
+        pairs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..48),
+    ) {
+        let (a, p) = unzip(&pairs);
+        let v = smape(&a, &p);
+        prop_assert!(
+            (0.0..=200.0 + 1e-9).contains(&v),
+            "smape {v} escaped [0, 200] for {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn smape_is_symmetric_in_its_arguments(
+        pairs in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 1..40),
+    ) {
+        let (a, p) = unzip(&pairs);
+        // Both |a - p| and the mean-magnitude denominator are symmetric,
+        // and the summation order is identical — so the symmetry holds
+        // bitwise, not just approximately.
+        prop_assert_eq!(smape(&a, &p).to_bits(), smape(&p, &a).to_bits());
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals_without_shifting_the_rest(
+        pairs in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 1..24),
+        junk in prop::collection::vec(-1e4f64..1e4, 1..8),
+    ) {
+        let (a, p) = unzip(&pairs);
+        // Interleave zero-actual pairs (carrying arbitrary predictions)
+        // through the clean stream: they must be skipped, leaving the
+        // metric bitwise equal to the zero-free computation.
+        let mut a_padded = Vec::new();
+        let mut p_padded = Vec::new();
+        for (i, &j) in junk.iter().enumerate() {
+            a_padded.push(0.0);
+            p_padded.push(j);
+            if i < a.len() {
+                a_padded.push(a[i]);
+                p_padded.push(p[i]);
+            }
+        }
+        a_padded.extend_from_slice(&a[junk.len().min(a.len())..]);
+        p_padded.extend_from_slice(&p[junk.len().min(p.len())..]);
+        prop_assert_eq!(
+            mape(&a_padded, &p_padded).to_bits(),
+            mape(&a, &p).to_bits(),
+            "zero-actual pairs must not contribute: {:?} vs {:?}",
+            mape(&a_padded, &p_padded),
+            mape(&a, &p)
+        );
+    }
+
+    #[test]
+    fn mape_of_all_zero_actuals_is_nan(
+        predicted in prop::collection::vec(-1e4f64..1e4, 1..16),
+    ) {
+        let zeros = vec![0.0; predicted.len()];
+        prop_assert!(mape(&zeros, &predicted).is_nan());
+    }
+
+    #[test]
+    fn nrmse_stays_finite_on_constant_series(
+        level in -1e3f64..1e3,
+        noise in prop::collection::vec(-10.0f64..10.0, 2..32),
+    ) {
+        // A constant actual series has zero range — the normalizer must
+        // fall back instead of dividing by zero (the degenerate case the
+        // paper cites as destabilizing error-magnitude rewards).
+        let actual = vec![level; noise.len()];
+        let predicted: Vec<f64> = noise.iter().map(|n| level + n).collect();
+        let v = nrmse(&actual, &predicted);
+        prop_assert!(v.is_finite(), "nrmse {v} not finite at level {level}");
+        prop_assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn every_metric_signals_nan_on_length_mismatch(
+        a in prop::collection::vec(-1e3f64..1e3, 2..16),
+        extra in 1usize..4,
+    ) {
+        let p = vec![0.0; a.len() + extra];
+        prop_assert!(mse(&a, &p).is_nan());
+        prop_assert!(rmse(&a, &p).is_nan());
+        prop_assert!(nrmse(&a, &p).is_nan());
+        prop_assert!(mae(&a, &p).is_nan());
+        prop_assert!(mape(&a, &p).is_nan());
+        prop_assert!(smape(&a, &p).is_nan());
+        prop_assert!(r2(&a, &p).is_nan());
+    }
+
+    #[test]
+    fn every_metric_signals_nan_on_empty_input(_x in 0u64..1) {
+        prop_assert!(mse(&[], &[]).is_nan());
+        prop_assert!(rmse(&[], &[]).is_nan());
+        prop_assert!(nrmse(&[], &[]).is_nan());
+        prop_assert!(mae(&[], &[]).is_nan());
+        prop_assert!(mape(&[], &[]).is_nan());
+        prop_assert!(smape(&[], &[]).is_nan());
+        prop_assert!(r2(&[], &[]).is_nan());
+    }
+}

@@ -276,6 +276,203 @@ pub fn gemm_tn_acc(k: usize, m: usize, n: usize, a: &[f64], b: &[f64], c: &mut [
     }
 }
 
+/// `c = a · bᵀ` for row-major `a` (`m x k`), `b` (`n x k`), `c` (`m x n`).
+///
+/// The NT-layout GEMM of the stacked-gate recurrent path: `b` is a packed
+/// weight matrix whose *rows* are dot-product operands (the LSTM's
+/// `4H x in_dim` input map or `4H x H` recurrence map), so one call
+/// computes all four `i|f|g|o` gate pre-activation blocks for a whole
+/// batch of samples — `Z_w = X_t · Wᵀ` — without materializing `Wᵀ`.
+/// Each output element is an independent dot product accumulated in
+/// ascending `k` order from `0.0`, bitwise-identical to the per-sample
+/// `vector::dot(w_row, x)`.
+///
+/// # Panics
+/// Debug-panics when the slice lengths do not match the given shape.
+pub fn gates_gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(c.len(), m * n, "gates_gemm: out shape");
+    c.fill(0.0);
+    gates_gemm_acc(m, k, n, a, b, c);
+}
+
+/// `c += a · bᵀ`; shapes as in [`gates_gemm`]. The accumulating variant
+/// seeds each output element from its existing value — the conv forward
+/// pass pre-fills `c` with the broadcast bias so the accumulation chain
+/// starts at `b[oc]` exactly like the per-sample loop, and the LSTM path
+/// goes through [`gates_gemm`] (zero-seeded) instead.
+///
+/// Four output columns are processed per pass of the `a` row: four
+/// *independent* accumulator chains hide FP-add latency while each chain
+/// still sums its products in ascending `k` order.
+///
+/// # Panics
+/// Debug-panics when the slice lengths do not match the given shape.
+pub fn gates_gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k, "gates_gemm_acc: lhs shape");
+    debug_assert_eq!(b.len(), n * k, "gates_gemm_acc: rhs shape");
+    debug_assert_eq!(c.len(), m * n, "gates_gemm_acc: out shape");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (crow[j], crow[j + 1], crow[j + 2], crow[j + 3]);
+            let lanes = arow.iter().zip(b0.iter().zip(b1).zip(b2.iter().zip(b3)));
+            for (&av, ((&w0, &w1), (&w2, &w3))) in lanes {
+                // eadrl-lint: allow(no-float-eq): sparsity fast path — skipping exact zeros is bit-identical to multiplying by them
+                if av == 0.0 {
+                    continue;
+                }
+                s0 += av * w0;
+                s1 += av * w1;
+                s2 += av * w2;
+                s3 += av * w3;
+            }
+            crow[j] = s0;
+            crow[j + 1] = s1;
+            crow[j + 2] = s2;
+            crow[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = crow[j];
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                // eadrl-lint: allow(no-float-eq): sparsity fast path — skipping exact zeros is bit-identical to multiplying by them
+                if av == 0.0 {
+                    continue;
+                }
+                s += av * bv;
+            }
+            crow[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// Fused LSTM gate apply for one timestep of a batched forward pass.
+///
+/// Inputs are the two NT-GEMM halves `zw = X_t · Wᵀ` and
+/// `zu = H_prev · Uᵀ` (each `batch x 4H`, gate blocks `[i|f|g|o]`), the
+/// packed bias `b` (`4H`) and the previous cell state `c_prev`
+/// (`batch x hidden`). For every sample and unit this computes
+/// `z = b + (zw + zu)` — the exact expression tree of the per-sequence
+/// step, which forms `b + (dot_w + dot_u)` — applies the sigmoid/tanh
+/// nonlinearities, and writes the *activated* gates into `gates`
+/// (`batch x 4H`), the new cell state into `c`, its tanh into `tanh_c`,
+/// and the new hidden state into `h` (each `batch x hidden`). Purely
+/// elementwise, so batching cannot reorder any accumulation.
+///
+/// # Panics
+/// Debug-panics when the slice lengths do not match the given shape.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_gate_apply(
+    batch: usize,
+    hidden: usize,
+    b: &[f64],
+    zw: &[f64],
+    zu: &[f64],
+    c_prev: &[f64],
+    gates: &mut [f64],
+    c: &mut [f64],
+    tanh_c: &mut [f64],
+    h: &mut [f64],
+) {
+    let g4 = 4 * hidden;
+    debug_assert_eq!(b.len(), g4, "lstm_gate_apply: bias shape");
+    debug_assert_eq!(zw.len(), batch * g4, "lstm_gate_apply: zw shape");
+    debug_assert_eq!(zu.len(), batch * g4, "lstm_gate_apply: zu shape");
+    debug_assert_eq!(c_prev.len(), batch * hidden, "lstm_gate_apply: c_prev");
+    debug_assert_eq!(gates.len(), batch * g4, "lstm_gate_apply: gates shape");
+    debug_assert_eq!(c.len(), batch * hidden, "lstm_gate_apply: c shape");
+    debug_assert_eq!(tanh_c.len(), batch * hidden, "lstm_gate_apply: tanh_c");
+    debug_assert_eq!(h.len(), batch * hidden, "lstm_gate_apply: h shape");
+    let sigmoid = |v: f64| 1.0 / (1.0 + (-v).exp());
+    for s in 0..batch {
+        let zw_row = &zw[s * g4..(s + 1) * g4];
+        let zu_row = &zu[s * g4..(s + 1) * g4];
+        let gate_row = &mut gates[s * g4..(s + 1) * g4];
+        for (row, gv) in gate_row.iter_mut().enumerate() {
+            let z = b[row] + (zw_row[row] + zu_row[row]);
+            *gv = if (2 * hidden..3 * hidden).contains(&row) {
+                z.tanh()
+            } else {
+                sigmoid(z)
+            };
+        }
+        for kk in 0..hidden {
+            let iv = gate_row[kk];
+            let fv = gate_row[hidden + kk];
+            let gv = gate_row[2 * hidden + kk];
+            let ov = gate_row[3 * hidden + kk];
+            let cv = fv * c_prev[s * hidden + kk] + iv * gv;
+            let tv = cv.tanh();
+            c[s * hidden + kk] = cv;
+            tanh_c[s * hidden + kk] = tv;
+            h[s * hidden + kk] = ov * tv;
+        }
+    }
+}
+
+/// Fused LSTM gate gradient for one timestep of a batched BPTT pass.
+///
+/// Reads the activated `gates` (`batch x 4H`, blocks `[i|f|g|o]`),
+/// `tanh_c` and `c_prev` (`batch x hidden`), the incoming hidden
+/// gradient `dh` and next-step cell gradient `dc_next`; writes the
+/// pre-activation gate gradients `dz` (`batch x 4H`) and the cell
+/// gradient flowing to the previous step `dc_prev`. Elementwise and
+/// term-for-term identical to the per-sequence backward step.
+///
+/// # Panics
+/// Debug-panics when the slice lengths do not match the given shape.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_gate_grad(
+    batch: usize,
+    hidden: usize,
+    gates: &[f64],
+    tanh_c: &[f64],
+    c_prev: &[f64],
+    dh: &[f64],
+    dc_next: &[f64],
+    dz: &mut [f64],
+    dc_prev: &mut [f64],
+) {
+    let g4 = 4 * hidden;
+    debug_assert_eq!(gates.len(), batch * g4, "lstm_gate_grad: gates shape");
+    debug_assert_eq!(tanh_c.len(), batch * hidden, "lstm_gate_grad: tanh_c");
+    debug_assert_eq!(c_prev.len(), batch * hidden, "lstm_gate_grad: c_prev");
+    debug_assert_eq!(dh.len(), batch * hidden, "lstm_gate_grad: dh shape");
+    debug_assert_eq!(dc_next.len(), batch * hidden, "lstm_gate_grad: dc_next");
+    debug_assert_eq!(dz.len(), batch * g4, "lstm_gate_grad: dz shape");
+    debug_assert_eq!(dc_prev.len(), batch * hidden, "lstm_gate_grad: dc_prev");
+    for s in 0..batch {
+        let gate_row = &gates[s * g4..(s + 1) * g4];
+        let dz_row = &mut dz[s * g4..(s + 1) * g4];
+        for kk in 0..hidden {
+            let iv = gate_row[kk];
+            let fv = gate_row[hidden + kk];
+            let gv = gate_row[2 * hidden + kk];
+            let ov = gate_row[3 * hidden + kk];
+            let tv = tanh_c[s * hidden + kk];
+            let dh_k = dh[s * hidden + kk];
+            let do_k = dh_k * tv;
+            let dc = dc_next[s * hidden + kk] + dh_k * ov * (1.0 - tv * tv);
+            let di = dc * gv;
+            let df = dc * c_prev[s * hidden + kk];
+            let dg = dc * iv;
+            dc_prev[s * hidden + kk] = dc * fv;
+            dz_row[kk] = di * iv * (1.0 - iv);
+            dz_row[hidden + kk] = df * fv * (1.0 - fv);
+            dz_row[2 * hidden + kk] = dg * (1.0 - gv * gv);
+            dz_row[3 * hidden + kk] = do_k * ov * (1.0 - ov);
+        }
+    }
+}
+
 /// `out = aᵀ` for row-major `a` of shape `rows x cols` (`out` must hold
 /// `cols * rows` elements). Pure data movement — no arithmetic, so there is
 /// nothing to reorder.
@@ -415,6 +612,145 @@ mod tests {
         matvec(2, 3, &a, &x, &mut out);
         assert_eq!(out[0], crate::vector::dot(&a[0..3], &x));
         assert_eq!(out[1], crate::vector::dot(&a[3..6], &x));
+    }
+
+    #[test]
+    fn gates_gemm_matches_per_row_dots() {
+        // Each output element must be bitwise-equal to the per-sample
+        // vector::dot of an `a` row against a `b` (weight) row, the exact
+        // chain the per-sequence LSTM step uses. Sizes cover the 4-wide
+        // column micro-kernel, its scalar tail, and k == 1 (in_dim 1).
+        for &(m, k, n) in &[(1, 1, 4), (3, 5, 8), (16, 1, 24), (7, 9, 10), (5, 70, 3)] {
+            let a = filled(m * k, 10);
+            let b = filled(n * k, 11);
+            let mut c = vec![f64::NAN; m * n];
+            gates_gemm(m, k, n, &a, &b, &mut c);
+            for i in 0..m {
+                for j in 0..n {
+                    let expect = crate::vector::dot(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    assert_eq!(c[i * n + j], expect, "gates_gemm {m}x{k}x{n} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gates_gemm_acc_seeds_from_existing_values() {
+        // The conv forward path pre-fills `c` with the bias so the chain
+        // starts at b[oc]; verify against the same bias-seeded scalar loop.
+        let (m, k, n) = (4, 6, 5);
+        let a = filled(m * k, 12);
+        let b = filled(n * k, 13);
+        let seed = filled(m * n, 14);
+        let mut c = seed.clone();
+        gates_gemm_acc(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = seed[i * n + j];
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[j * k + kk];
+                }
+                assert_eq!(c[i * n + j], s, "gates_gemm_acc at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_gate_apply_matches_scalar_step() {
+        // Reference: the per-sequence step's expression tree, one sample
+        // and unit at a time.
+        let (batch, hidden) = (3, 5);
+        let g4 = 4 * hidden;
+        let b = filled(g4, 15);
+        let zw = filled(batch * g4, 16);
+        let zu = filled(batch * g4, 17);
+        let c_prev = filled(batch * hidden, 18);
+        let mut gates = vec![f64::NAN; batch * g4];
+        let mut c = vec![f64::NAN; batch * hidden];
+        let mut tanh_c = vec![f64::NAN; batch * hidden];
+        let mut h = vec![f64::NAN; batch * hidden];
+        lstm_gate_apply(
+            batch,
+            hidden,
+            &b,
+            &zw,
+            &zu,
+            &c_prev,
+            &mut gates,
+            &mut c,
+            &mut tanh_c,
+            &mut h,
+        );
+        let sigmoid = |v: f64| 1.0 / (1.0 + (-v).exp());
+        for s in 0..batch {
+            for kk in 0..hidden {
+                let z = |row: usize| b[row] + (zw[s * g4 + row] + zu[s * g4 + row]);
+                let iv = sigmoid(z(kk));
+                let fv = sigmoid(z(hidden + kk));
+                let gv = z(2 * hidden + kk).tanh();
+                let ov = sigmoid(z(3 * hidden + kk));
+                assert_eq!(gates[s * g4 + kk], iv);
+                assert_eq!(gates[s * g4 + hidden + kk], fv);
+                assert_eq!(gates[s * g4 + 2 * hidden + kk], gv);
+                assert_eq!(gates[s * g4 + 3 * hidden + kk], ov);
+                let cv = fv * c_prev[s * hidden + kk] + iv * gv;
+                assert_eq!(c[s * hidden + kk], cv);
+                assert_eq!(tanh_c[s * hidden + kk], cv.tanh());
+                assert_eq!(h[s * hidden + kk], ov * cv.tanh());
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_gate_grad_matches_scalar_backward_step() {
+        let (batch, hidden) = (2, 4);
+        let g4 = 4 * hidden;
+        // Gates must look like activation outputs (in (0, 1) / (-1, 1));
+        // squash the pseudo-values accordingly.
+        let gates: Vec<f64> = filled(batch * g4, 19)
+            .iter()
+            .map(|v| 1.0 / (1.0 + (-v / 64.0).exp()))
+            .collect();
+        let tanh_c: Vec<f64> = filled(batch * hidden, 20)
+            .iter()
+            .map(|v| (v / 64.0).tanh())
+            .collect();
+        let c_prev = filled(batch * hidden, 21);
+        let dh = filled(batch * hidden, 22);
+        let dc_next = filled(batch * hidden, 23);
+        let mut dz = vec![f64::NAN; batch * g4];
+        let mut dc_prev = vec![f64::NAN; batch * hidden];
+        lstm_gate_grad(
+            batch,
+            hidden,
+            &gates,
+            &tanh_c,
+            &c_prev,
+            &dh,
+            &dc_next,
+            &mut dz,
+            &mut dc_prev,
+        );
+        for s in 0..batch {
+            for kk in 0..hidden {
+                let iv = gates[s * g4 + kk];
+                let fv = gates[s * g4 + hidden + kk];
+                let gv = gates[s * g4 + 2 * hidden + kk];
+                let ov = gates[s * g4 + 3 * hidden + kk];
+                let tv = tanh_c[s * hidden + kk];
+                let dh_k = dh[s * hidden + kk];
+                let do_k = dh_k * tv;
+                let dc = dc_next[s * hidden + kk] + dh_k * ov * (1.0 - tv * tv);
+                assert_eq!(dc_prev[s * hidden + kk], dc * fv);
+                assert_eq!(dz[s * g4 + kk], dc * gv * iv * (1.0 - iv));
+                assert_eq!(
+                    dz[s * g4 + hidden + kk],
+                    dc * c_prev[s * hidden + kk] * fv * (1.0 - fv)
+                );
+                assert_eq!(dz[s * g4 + 2 * hidden + kk], dc * iv * (1.0 - gv * gv));
+                assert_eq!(dz[s * g4 + 3 * hidden + kk], do_k * ov * (1.0 - ov));
+            }
+        }
     }
 
     #[test]

@@ -5,16 +5,26 @@
 //! initialization. Windows arrive already z-scored via
 //! [`crate::tabular::Windowed`], so no internal scaling is needed.
 //!
-//! The MLP family trains through the batched GEMM path
-//! ([`Mlp::forward_batch`]/[`Mlp::backward_batch`]): each shuffled chunk is
-//! assembled into a row matrix and runs one forward/backward per network
-//! instead of one per sample — bitwise identical to the per-sample loop
-//! (the batch kernels preserve per-element accumulation order; see
-//! `crates/nn/tests/props.rs`). The recurrent families (LSTM, Bi-LSTM,
-//! CNN-LSTM, Conv-LSTM, stacked LSTM) keep per-sample fits: their
-//! time-step recurrence carries a sequential data dependency that a
-//! row-batched GEMM cannot express without restructuring the unrolled
-//! graph, which is out of scope here.
+//! Every family trains through a batched GEMM path. The MLP assembles
+//! each shuffled chunk into a row matrix and runs one
+//! [`Mlp::forward_batch`]/[`Mlp::backward_batch`] per network instead of
+//! one pass per sample. The recurrent families (LSTM, Bi-LSTM, CNN-LSTM,
+//! Conv-LSTM) stage the chunk's windows as one `B x in_dim` matrix *per
+//! timestep* and run the stacked-gate kernels over persistent workspaces
+//! ([`eadrl_nn::RecurrentWorkspace`] and friends): the sequential
+//! recurrence still walks timesteps one at a time, but each step is a
+//! batch-wide GEMM rather than B matvec loops. Both paths are bitwise
+//! identical to the per-sample loops (the kernels preserve per-element
+//! accumulation order; see `crates/nn/tests/recurrent_equivalence.rs`).
+//! The two-layer stacked LSTM keeps the per-sample reference fit — its
+//! layer-1 hidden sequence feeds layer 2 step-by-step, and the family is
+//! a paper baseline, not a pool member, so it stays on the readable path.
+//!
+//! `predict_next` is alloc-free in steady state for all recurrent
+//! families: each regressor carries a `Scratch`-wrapped inference cache
+//! (interior mutability behind a `Mutex`, keeping the model `Send + Sync`)
+//! and windows are consumed as strided slices instead of `Vec<Vec<f64>>`
+//! sequences.
 //!
 //! Faithfulness note (documented in `DESIGN.md`): Conv-LSTM is implemented
 //! as an LSTM over overlapping *patches* of the window — the input-to-state
@@ -27,11 +37,36 @@ use crate::forecaster::ModelError;
 use crate::tabular::{TabularModel, Windowed};
 use eadrl_linalg::Matrix;
 use eadrl_nn::{
-    mse_loss_grad, Activation, Adam, BiLstm, Conv1d, Dense, Lstm, Mlp, Network, Optimizer,
+    mse_loss_grad, Activation, Adam, BiLstm, BiLstmInferenceCache, BiRecurrentWorkspace, Conv1d,
+    ConvInferenceCache, ConvWorkspace, Dense, Lstm, LstmInferenceCache, Mlp, Network, Optimizer,
+    RecurrentWorkspace,
 };
 use eadrl_rng::DetRng;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 const BATCH: usize = 16;
+
+/// Per-model inference scratch behind a `Mutex`: `predict` takes `&self`
+/// (the `TabularModel` contract also demands `Send + Sync`), so reusable
+/// buffers need interior mutability. Predictions are sequential per model
+/// in practice, so the lock is uncontended. `Clone` hands out a *fresh*
+/// scratch — the caches hold no model state, only reusable buffers.
+#[derive(Debug, Default)]
+struct Scratch<T>(Mutex<T>);
+
+impl<T: Default> Clone for Scratch<T> {
+    fn clone(&self) -> Self {
+        Scratch::default()
+    }
+}
+
+impl<T> Scratch<T> {
+    fn lock(&self) -> MutexGuard<'_, T> {
+        // A poisoned lock only means a previous predict panicked mid-call;
+        // the buffers are still structurally valid scratch space.
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 fn shuffled_indices(n: usize, rng: &mut DetRng) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
@@ -146,16 +181,6 @@ fn window_to_seq(window: &[f64]) -> Vec<Vec<f64>> {
     window.iter().map(|&v| vec![v]).collect()
 }
 
-/// Turns a window into overlapping patches of width `patch` (stride 1).
-fn window_to_patches(window: &[f64], patch: usize) -> Vec<Vec<f64>> {
-    if window.len() < patch {
-        return vec![window.to_vec()];
-    }
-    (0..=window.len() - patch)
-        .map(|i| window[i..i + patch].to_vec())
-        .collect()
-}
-
 /// LSTM regressor (paper family **LSTM**): LSTM over the window as a
 /// length-k sequence, linear head on the final hidden state.
 #[derive(Debug, Clone)]
@@ -166,6 +191,7 @@ pub struct LstmRegressor {
     seed: u64,
     lstm: Option<Lstm>,
     head: Option<Dense>,
+    scratch: Scratch<(LstmInferenceCache, [f64; 1])>,
 }
 
 impl LstmRegressor {
@@ -178,6 +204,7 @@ impl LstmRegressor {
             seed,
             lstm: None,
             head: None,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -190,23 +217,42 @@ impl TabularModel for LstmRegressor {
                 got: inputs.len(),
             });
         }
+        let steps = inputs[0].len();
         let mut rng = DetRng::seed_from_u64(self.seed);
         let mut lstm = Lstm::new(&mut rng, 1, self.hidden);
         let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
+        // Persistent staging: the recurrent workspace plus the head's
+        // chunk matrices are reused across every batch and epoch.
+        let mut ws = RecurrentWorkspace::new();
+        let mut hb = Matrix::default();
+        let mut gb = Matrix::default();
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
                 let mut group = ParamGroup2(&mut lstm, &mut head);
                 group.zero_grad();
-                for &i in chunk {
-                    let seq = window_to_seq(&inputs[i]);
-                    let h = group.0.forward_sequence(&seq);
-                    let y = group.1.forward(&h);
-                    let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = group.1.backward(&g);
-                    group.0.backward_last(&gh);
+                let n = chunk.len();
+                ws.stage(n, steps, 1, self.hidden);
+                for (s, &i) in chunk.iter().enumerate() {
+                    debug_assert_eq!(inputs[i].len(), steps, "uniform window length");
+                    for (t, v) in inputs[i].iter().enumerate() {
+                        ws.set_input(s, t, std::slice::from_ref(v));
+                    }
                 }
+                group.0.forward_batch(&mut ws);
+                hb.resize(n, self.hidden);
+                hb.data_mut().copy_from_slice(ws.h_last());
+                gb.resize(n, 1);
+                {
+                    let out = group.1.forward_batch(&hb);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        let g = mse_loss_grad(out.row(r), &[targets[i]]);
+                        gb.row_mut(r).copy_from_slice(&g);
+                    }
+                }
+                let gh = group.1.backward_batch(&gb);
+                group.0.backward_batch_last(gh.data(), &mut ws, false);
                 group.clip_grad_norm(5.0);
                 opt.step(&mut group);
             }
@@ -220,8 +266,11 @@ impl TabularModel for LstmRegressor {
         let (Some(lstm), Some(head)) = (self.lstm.as_ref(), self.head.as_ref()) else {
             return 0.0;
         };
-        let h = lstm.forward_inference(&window_to_seq(input));
-        head.forward_inference(&h)[0]
+        let mut guard = self.scratch.lock();
+        let (cache, out) = &mut *guard;
+        let h = lstm.forward_inference_cached(input, 1, cache);
+        head.forward_inference_into(h, out);
+        out[0]
     }
 }
 
@@ -234,6 +283,7 @@ pub struct BiLstmRegressor {
     seed: u64,
     bilstm: Option<BiLstm>,
     head: Option<Dense>,
+    scratch: Scratch<(BiLstmInferenceCache, [f64; 1])>,
 }
 
 impl BiLstmRegressor {
@@ -246,6 +296,7 @@ impl BiLstmRegressor {
             seed,
             bilstm: None,
             head: None,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -258,23 +309,40 @@ impl TabularModel for BiLstmRegressor {
                 got: inputs.len(),
             });
         }
+        let steps = inputs[0].len();
         let mut rng = DetRng::seed_from_u64(self.seed);
         let mut bilstm = BiLstm::new(&mut rng, 1, self.hidden);
         let mut head = Dense::new(&mut rng, 2 * self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
+        let mut ws = BiRecurrentWorkspace::new();
+        let mut hb = Matrix::default();
+        let mut gb = Matrix::default();
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
                 let mut group = ParamGroup2(&mut bilstm, &mut head);
                 group.zero_grad();
-                for &i in chunk {
-                    let seq = window_to_seq(&inputs[i]);
-                    let h = group.0.forward_sequence(&seq);
-                    let y = group.1.forward(&h);
-                    let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = group.1.backward(&g);
-                    group.0.backward_last(&gh);
+                let n = chunk.len();
+                ws.stage(n, steps, 1, self.hidden);
+                for (s, &i) in chunk.iter().enumerate() {
+                    debug_assert_eq!(inputs[i].len(), steps, "uniform window length");
+                    for (t, v) in inputs[i].iter().enumerate() {
+                        ws.set_input(s, t, std::slice::from_ref(v));
+                    }
                 }
+                group.0.forward_batch(&mut ws);
+                hb.resize(n, 2 * self.hidden);
+                hb.data_mut().copy_from_slice(ws.output());
+                gb.resize(n, 1);
+                {
+                    let out = group.1.forward_batch(&hb);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        let g = mse_loss_grad(out.row(r), &[targets[i]]);
+                        gb.row_mut(r).copy_from_slice(&g);
+                    }
+                }
+                let gh = group.1.backward_batch(&gb);
+                group.0.backward_batch_last(gh.data(), &mut ws, false);
                 group.clip_grad_norm(5.0);
                 opt.step(&mut group);
             }
@@ -288,8 +356,11 @@ impl TabularModel for BiLstmRegressor {
         let (Some(b), Some(head)) = (self.bilstm.as_ref(), self.head.as_ref()) else {
             return 0.0;
         };
-        let h = b.forward_inference(&window_to_seq(input));
-        head.forward_inference(&h)[0]
+        let mut guard = self.scratch.lock();
+        let (cache, out) = &mut *guard;
+        let h = b.forward_inference_cached(input, 1, cache);
+        head.forward_inference_into(h, out);
+        out[0]
     }
 }
 
@@ -306,6 +377,7 @@ pub struct CnnLstmRegressor {
     conv: Option<Conv1d>,
     lstm: Option<Lstm>,
     head: Option<Dense>,
+    scratch: Scratch<(ConvInferenceCache, LstmInferenceCache, [f64; 1])>,
 }
 
 impl CnnLstmRegressor {
@@ -328,22 +400,8 @@ impl CnnLstmRegressor {
             conv: None,
             lstm: None,
             head: None,
+            scratch: Scratch::default(),
         }
-    }
-
-    /// Conv output (channel-major) reshaped to a time-major sequence.
-    fn conv_to_seq(conv_out: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let steps = conv_out.first().map_or(0, Vec::len);
-        (0..steps)
-            .map(|t| conv_out.iter().map(|ch| ch[t]).collect())
-            .collect()
-    }
-
-    /// Time-major gradient sequence reshaped back to channel-major.
-    fn seq_grad_to_conv(grads: &[Vec<f64>], channels: usize) -> Vec<Vec<f64>> {
-        (0..channels)
-            .map(|c| grads.iter().map(|g| g[c]).collect())
-            .collect()
     }
 }
 
@@ -366,22 +424,51 @@ impl TabularModel for CnnLstmRegressor {
         let mut lstm = Lstm::new(&mut rng, self.channels, self.hidden);
         let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
+        let t_out = window - self.kernel + 1;
+        let ch = self.channels;
+        let mut cws = ConvWorkspace::new();
+        let mut ws = RecurrentWorkspace::new();
+        let mut hb = Matrix::default();
+        let mut gb = Matrix::default();
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
                 let mut group = ParamGroup3(&mut conv, &mut lstm, &mut head);
                 group.zero_grad();
-                for &i in chunk {
-                    let conv_out = group.0.forward(&[inputs[i].clone()]);
-                    let seq = Self::conv_to_seq(&conv_out);
-                    let h = group.1.forward_sequence(&seq);
-                    let y = group.2.forward(&h);
-                    let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = group.2.backward(&g);
-                    let gseq = group.1.backward_last(&gh);
-                    let gconv = Self::seq_grad_to_conv(&gseq, self.channels);
-                    group.0.backward(&gconv);
+                let n = chunk.len();
+                group.0.stage_batch(&mut cws, n, window);
+                for (s, &i) in chunk.iter().enumerate() {
+                    debug_assert_eq!(inputs[i].len(), window, "uniform window length");
+                    cws.input_mut(s).copy_from_slice(&inputs[i]);
                 }
+                group.0.forward_batch(&mut cws);
+                ws.stage(n, t_out, ch, self.hidden);
+                for s in 0..n {
+                    for t in 0..t_out {
+                        ws.set_input(s, t, cws.output_row(s, t));
+                    }
+                }
+                group.1.forward_batch(&mut ws);
+                hb.resize(n, self.hidden);
+                hb.data_mut().copy_from_slice(ws.h_last());
+                gb.resize(n, 1);
+                {
+                    let out = group.2.forward_batch(&hb);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        let g = mse_loss_grad(out.row(r), &[targets[i]]);
+                        gb.row_mut(r).copy_from_slice(&g);
+                    }
+                }
+                let gh = group.2.backward_batch(&gb);
+                group.1.backward_batch_last(gh.data(), &mut ws, true);
+                for t in 0..t_out {
+                    let gx = ws.grad_x(t);
+                    for s in 0..n {
+                        cws.grad_output_row_mut(s, t)
+                            .copy_from_slice(&gx[s * ch..(s + 1) * ch]);
+                    }
+                }
+                group.0.backward_batch_weights_only(&mut cws);
                 group.clip_grad_norm(5.0);
                 opt.step(&mut group);
             }
@@ -398,10 +485,12 @@ impl TabularModel for CnnLstmRegressor {
         else {
             return 0.0;
         };
-        let conv_out = conv.forward_inference(&[input.to_vec()]);
-        let seq = Self::conv_to_seq(&conv_out);
-        let h = lstm.forward_inference(&seq);
-        head.forward_inference(&h)[0]
+        let mut guard = self.scratch.lock();
+        let (conv_cache, lstm_cache, out) = &mut *guard;
+        let y = conv.forward_inference_cached(input, conv_cache);
+        let h = lstm.forward_inference_cached(y, self.channels, lstm_cache);
+        head.forward_inference_into(h, out);
+        out[0]
     }
 }
 
@@ -417,6 +506,7 @@ pub struct ConvLstmRegressor {
     seed: u64,
     lstm: Option<Lstm>,
     head: Option<Dense>,
+    scratch: Scratch<(LstmInferenceCache, [f64; 1])>,
 }
 
 impl ConvLstmRegressor {
@@ -430,6 +520,7 @@ impl ConvLstmRegressor {
             seed,
             lstm: None,
             head: None,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -442,24 +533,42 @@ impl TabularModel for ConvLstmRegressor {
                 got: inputs.len(),
             });
         }
-        let in_dim = self.patch.min(inputs[0].len());
+        let window = inputs[0].len();
+        let in_dim = self.patch.min(window);
+        let steps = window - in_dim + 1;
         let mut rng = DetRng::seed_from_u64(self.seed);
         let mut lstm = Lstm::new(&mut rng, in_dim, self.hidden);
         let mut head = Dense::new(&mut rng, self.hidden, 1, Activation::Identity);
         let mut opt = Adam::new(self.lr);
+        let mut ws = RecurrentWorkspace::new();
+        let mut hb = Matrix::default();
+        let mut gb = Matrix::default();
         for _ in 0..self.epochs {
             let order = shuffled_indices(inputs.len(), &mut rng);
             for chunk in order.chunks(BATCH) {
                 let mut group = ParamGroup2(&mut lstm, &mut head);
                 group.zero_grad();
-                for &i in chunk {
-                    let seq = window_to_patches(&inputs[i], in_dim);
-                    let h = group.0.forward_sequence(&seq);
-                    let y = group.1.forward(&h);
-                    let g = mse_loss_grad(&y, &[targets[i]]);
-                    let gh = group.1.backward(&g);
-                    group.0.backward_last(&gh);
+                let n = chunk.len();
+                ws.stage(n, steps, in_dim, self.hidden);
+                for (s, &i) in chunk.iter().enumerate() {
+                    debug_assert_eq!(inputs[i].len(), window, "uniform window length");
+                    for t in 0..steps {
+                        ws.set_input(s, t, &inputs[i][t..t + in_dim]);
+                    }
                 }
+                group.0.forward_batch(&mut ws);
+                hb.resize(n, self.hidden);
+                hb.data_mut().copy_from_slice(ws.h_last());
+                gb.resize(n, 1);
+                {
+                    let out = group.1.forward_batch(&hb);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        let g = mse_loss_grad(out.row(r), &[targets[i]]);
+                        gb.row_mut(r).copy_from_slice(&g);
+                    }
+                }
+                let gh = group.1.backward_batch(&gb);
+                group.0.backward_batch_last(gh.data(), &mut ws, false);
                 group.clip_grad_norm(5.0);
                 opt.step(&mut group);
             }
@@ -473,9 +582,11 @@ impl TabularModel for ConvLstmRegressor {
         let (Some(lstm), Some(head)) = (self.lstm.as_ref(), self.head.as_ref()) else {
             return 0.0;
         };
-        let in_dim = lstm.in_dim();
-        let h = lstm.forward_inference(&window_to_patches(input, in_dim));
-        head.forward_inference(&h)[0]
+        let mut guard = self.scratch.lock();
+        let (cache, out) = &mut *guard;
+        let h = lstm.forward_inference_cached(input, 1, cache);
+        head.forward_inference_into(h, out);
+        out[0]
     }
 }
 
@@ -493,6 +604,7 @@ pub struct StackedLstmRegressor {
     lstm1: Option<Lstm>,
     lstm2: Option<Lstm>,
     head: Option<Dense>,
+    scratch: Scratch<(LstmInferenceCache, LstmInferenceCache, [f64; 1])>,
 }
 
 impl StackedLstmRegressor {
@@ -507,6 +619,7 @@ impl StackedLstmRegressor {
             lstm1: None,
             lstm2: None,
             head: None,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -555,9 +668,12 @@ impl TabularModel for StackedLstmRegressor {
         else {
             return 0.0;
         };
-        let hs1 = l1.forward_inference_full(&window_to_seq(input));
-        let h2 = l2.forward_inference(&hs1);
-        head.forward_inference(&h2)[0]
+        let mut guard = self.scratch.lock();
+        let (c1, c2, out) = &mut *guard;
+        let hs1 = l1.forward_inference_cached_full(input, 1, c1);
+        let h2 = l2.forward_inference_cached(hs1, l2.in_dim(), c2);
+        head.forward_inference_into(h2, out);
+        out[0]
     }
 }
 
@@ -654,6 +770,18 @@ pub fn conv_lstm_forecaster(
 mod tests {
     use super::*;
     use crate::forecaster::Forecaster;
+
+    /// Reference construction of the Conv-LSTM patch sequence: overlapping
+    /// width-`patch` slices at stride 1 (the fit loop stages the same
+    /// slices directly into the recurrent workspace).
+    fn window_to_patches(window: &[f64], patch: usize) -> Vec<Vec<f64>> {
+        if window.len() < patch {
+            return vec![window.to_vec()];
+        }
+        (0..=window.len() - patch)
+            .map(|i| window[i..i + patch].to_vec())
+            .collect()
+    }
 
     fn sine_series(n: usize) -> Vec<f64> {
         (0..n)

@@ -1,9 +1,81 @@
 //! 1-D convolution layer (valid padding, stride 1).
+//!
+//! All arithmetic routes through the `eadrl_linalg` kernels: the
+//! single-sample paths gather each receptive field into an `in_ch * k`
+//! patch and run a bias-seeded `gemm_acc` (the accumulation chain starts
+//! at `b[oc]` and adds products in ascending `(ic, k)` order — the exact
+//! per-element chain of the original hand-rolled loops), and the batched
+//! training path ([`Conv1d::forward_batch`]) stages every window's
+//! receptive fields as an im2col matrix and runs one bias-seeded NT GEMM
+//! plus one `gemm_tn_acc` for the weight gradients. The two paths are
+//! bitwise-identical; `tests/recurrent_equivalence.rs` proves it.
 
 use crate::activation::Activation;
 use crate::init;
 use crate::network::Network;
+use eadrl_linalg::{kernels, vector};
 use eadrl_rng::DetRng;
+
+/// Persistent buffers for the batched conv training path: staged inputs,
+/// the im2col receptive-field matrix, pre/post-activation outputs, and the
+/// gradient staging. Grown with `Vec::resize` on
+/// [`Conv1d::stage_batch`] and reused across minibatches — zero
+/// steady-state allocations.
+#[derive(Debug, Clone, Default)]
+pub struct ConvWorkspace {
+    batch: usize,
+    in_len: usize,
+    out_len: usize,
+    in_channels: usize,
+    out_channels: usize,
+    patch: usize,
+    /// Staged inputs, `B x (in_ch * in_len)` (channel-major per sample).
+    input: Vec<f64>,
+    /// im2col matrix, `(B * out_len) x (in_ch * kernel)`; row `s*T + t`
+    /// holds window `s`'s receptive field at output position `t`.
+    xc: Vec<f64>,
+    /// Post-activation outputs, `(B * out_len) x out_ch`.
+    y: Vec<f64>,
+    /// Upstream output gradients (staged by the caller), then overwritten
+    /// in place with the pre-activation gradients `dz`.
+    dy: Vec<f64>,
+}
+
+impl ConvWorkspace {
+    /// Creates an empty workspace; buffers are sized on
+    /// [`Conv1d::stage_batch`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One sample's staged input (`in_ch * in_len`, channel-major).
+    pub fn input_mut(&mut self, s: usize) -> &mut [f64] {
+        let w = self.in_channels * self.in_len;
+        &mut self.input[s * w..(s + 1) * w]
+    }
+
+    /// Output row for window `s` at output position `t` (`out_ch` values),
+    /// valid after [`Conv1d::forward_batch`].
+    pub fn output_row(&self, s: usize, t: usize) -> &[f64] {
+        let r = s * self.out_len + t;
+        &self.y[r * self.out_channels..(r + 1) * self.out_channels]
+    }
+
+    /// Upstream-gradient row for window `s` at output position `t`, staged
+    /// by the caller before [`Conv1d::backward_batch_weights_only`].
+    pub fn grad_output_row_mut(&mut self, s: usize, t: usize) -> &mut [f64] {
+        let r = s * self.out_len + t;
+        &mut self.dy[r * self.out_channels..(r + 1) * self.out_channels]
+    }
+}
+
+/// Reusable buffers for the alloc-free single-window inference path
+/// ([`Conv1d::forward_inference_cached`]).
+#[derive(Debug, Clone, Default)]
+pub struct ConvInferenceCache {
+    /// Time-major output, `out_len x out_ch`.
+    y: Vec<f64>,
+}
 
 /// A 1-D convolution `out[c][t] = act(b[c] + Σ_ci Σ_k w[c][ci][k] · in[ci][t+k])`.
 ///
@@ -90,22 +162,36 @@ impl Conv1d {
         out
     }
 
+    /// Gathers the receptive field at output position `t` into `patch`
+    /// (`in_ch * kernel`, matching the weight layout `[ic][k]`).
+    fn gather_patch(&self, input: &[Vec<f64>], t: usize, patch: &mut [f64]) {
+        for (ic, ich) in input.iter().enumerate() {
+            patch[ic * self.kernel..(ic + 1) * self.kernel]
+                .copy_from_slice(&ich[t..t + self.kernel]);
+        }
+    }
+
     /// Inference-only forward pass.
+    ///
+    /// Each output column is a bias-seeded `gemm_acc` over the gathered
+    /// receptive field: the accumulation chain for `out[oc][t]` starts at
+    /// `b[oc]` and adds products in ascending `(ic, k)` order, exactly as
+    /// the original scalar loops did.
     pub fn forward_inference(&self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
         debug_assert_eq!(input.len(), self.in_channels, "Conv1d: channel count");
         let len = input.first().map_or(0, Vec::len);
         debug_assert!(len >= self.kernel, "Conv1d: input shorter than kernel");
         let out_len = self.out_len(len);
+        let ick = self.in_channels * self.kernel;
         let mut out = vec![vec![0.0; out_len]; self.out_channels];
-        for (oc, och) in out.iter_mut().enumerate() {
-            for (t, ov) in och.iter_mut().enumerate() {
-                let mut s = self.b[oc];
-                for (ic, ich) in input.iter().enumerate() {
-                    for k in 0..self.kernel {
-                        s += self.weight(oc, ic, k) * ich[t + k];
-                    }
-                }
-                *ov = self.activation.apply(s);
+        let mut patch = vec![0.0; ick];
+        let mut col = vec![0.0; self.out_channels];
+        for t in 0..out_len {
+            self.gather_patch(input, t, &mut patch);
+            col.copy_from_slice(&self.b);
+            kernels::gemm_acc(self.out_channels, ick, 1, &self.w, &patch, &mut col);
+            for (och, &s) in out.iter_mut().zip(col.iter()) {
+                och[t] = self.activation.apply(s);
             }
         }
         out
@@ -113,6 +199,12 @@ impl Conv1d {
 
     /// Backward pass: accumulates parameter gradients and returns input
     /// gradients (channel-major, same shape as the forward input).
+    ///
+    /// Weight gradients route through `vector::axpy` over the gathered
+    /// receptive field (per weight element the contributions stay in
+    /// ascending-`t` order). The input-gradient scatter stays scalar: its
+    /// writes overlap across output positions, so a col2im GEMM would
+    /// reorder the accumulation.
     pub fn backward(&mut self, grad_output: &[Vec<f64>]) -> Vec<Vec<f64>> {
         debug_assert_eq!(grad_output.len(), self.out_channels);
         debug_assert!(
@@ -120,25 +212,146 @@ impl Conv1d {
             "Conv1d backward called before forward"
         );
         let in_len = self.cache_input[0].len();
+        let ick = self.in_channels * self.kernel;
         let mut grad_input = vec![vec![0.0; in_len]; self.in_channels];
-        for (oc, (goch, yoch)) in grad_output.iter().zip(self.cache_output.iter()).enumerate() {
-            for (t, (&gy, &y)) in goch.iter().zip(yoch.iter()).enumerate() {
+        let mut patch = vec![0.0; ick];
+        let out_len = self.out_len(in_len);
+        for t in 0..out_len {
+            for (ic, ich) in self.cache_input.iter().enumerate() {
+                patch[ic * self.kernel..(ic + 1) * self.kernel]
+                    .copy_from_slice(&ich[t..t + self.kernel]);
+            }
+            for oc in 0..self.out_channels {
+                let gy = grad_output[oc][t];
+                let y = self.cache_output[oc][t];
                 let dz = gy * self.activation.derivative_from_output(y);
                 // eadrl-lint: allow(no-float-eq): ReLU subgradient — exact zero means no gradient flows, skip is lossless
                 if dz == 0.0 {
                     continue;
                 }
                 self.grad_b[oc] += dz;
+                vector::axpy(dz, &patch, &mut self.grad_w[oc * ick..(oc + 1) * ick]);
                 for ic in 0..self.in_channels {
                     for k in 0..self.kernel {
-                        let widx = (oc * self.in_channels + ic) * self.kernel + k;
-                        self.grad_w[widx] += dz * self.cache_input[ic][t + k];
-                        grad_input[ic][t + k] += dz * self.w[widx];
+                        grad_input[ic][t + k] += dz * self.weight(oc, ic, k);
                     }
                 }
             }
         }
         grad_input
+    }
+
+    /// Sizes the workspace for a batch of `batch` windows of length
+    /// `in_len` each. Growth-only; re-staging allocates nothing in steady
+    /// state.
+    pub fn stage_batch(&self, ws: &mut ConvWorkspace, batch: usize, in_len: usize) {
+        debug_assert!(in_len >= self.kernel, "Conv1d: input shorter than kernel");
+        let out_len = self.out_len(in_len);
+        ws.batch = batch;
+        ws.in_len = in_len;
+        ws.out_len = out_len;
+        ws.in_channels = self.in_channels;
+        ws.out_channels = self.out_channels;
+        ws.patch = self.in_channels * self.kernel;
+        ws.input.resize(batch * self.in_channels * in_len, 0.0);
+        ws.xc.resize(batch * out_len * ws.patch, 0.0);
+        ws.y.resize(batch * out_len * self.out_channels, 0.0);
+        ws.dy.resize(batch * out_len * self.out_channels, 0.0);
+    }
+
+    /// Batched forward pass over the windows staged in `ws`: one im2col
+    /// gather plus one bias-seeded NT GEMM for the whole minibatch.
+    /// Output rows land in the workspace time-major per sample
+    /// ([`ConvWorkspace::output_row`]); bitwise-identical to running
+    /// [`Conv1d::forward`] per sample.
+    pub fn forward_batch(&self, ws: &mut ConvWorkspace) {
+        let mut span = eadrl_obs::span_at(eadrl_obs::Level::Trace, "nn.conv.forward_batch");
+        span.record("rows", ws.batch.into());
+        let (b, t_out, ick, oc) = (ws.batch, ws.out_len, ws.patch, self.out_channels);
+        let rows = b * t_out;
+        for s in 0..b {
+            let sample = &ws.input[s * self.in_channels * ws.in_len..];
+            for t in 0..t_out {
+                let r = (s * t_out + t) * ick;
+                for ic in 0..self.in_channels {
+                    ws.xc[r + ic * self.kernel..r + (ic + 1) * self.kernel].copy_from_slice(
+                        &sample[ic * ws.in_len + t..ic * ws.in_len + t + self.kernel],
+                    );
+                }
+            }
+        }
+        // Seed every output row with the bias so each element's
+        // accumulation chain starts at b[oc], as in the per-sample loop.
+        for r in 0..rows {
+            ws.y[r * oc..(r + 1) * oc].copy_from_slice(&self.b);
+        }
+        kernels::gates_gemm_acc(rows, ick, oc, &ws.xc, &self.w, &mut ws.y);
+        self.activation.apply_in_place(&mut ws.y[..rows * oc]);
+    }
+
+    /// Batched backward pass accumulating *parameter* gradients only; the
+    /// caller stages upstream gradients via
+    /// [`ConvWorkspace::grad_output_row_mut`]. Input gradients are not
+    /// produced — in the CNN-LSTM wiring the convolution is the first
+    /// layer, so nothing consumes them (the single-sample
+    /// [`Conv1d::backward`] still computes them for gradient checking).
+    pub fn backward_batch_weights_only(&mut self, ws: &mut ConvWorkspace) {
+        let mut span = eadrl_obs::span_at(eadrl_obs::Level::Trace, "nn.conv.backward_batch");
+        span.record("rows", ws.batch.into());
+        let (b, t_out, ick, oc) = (ws.batch, ws.out_len, ws.patch, self.out_channels);
+        let rows = b * t_out;
+        // dz = dy ⊙ act'(y), in place over the staged upstream gradients.
+        for (d, &y) in ws.dy[..rows * oc].iter_mut().zip(ws.y[..rows * oc].iter()) {
+            *d *= self.activation.derivative_from_output(y);
+        }
+        // Bias gradients as ascending-row column sums. The per-sample loop
+        // skips dz == 0.0 rows; adding them is bit-identical because the
+        // partial sums can never be -0.0 (chains start at +0.0 and IEEE
+        // addition only yields -0.0 from two negative-zero operands).
+        for r in 0..rows {
+            let dzr = &ws.dy[r * oc..(r + 1) * oc];
+            for (gb, &d) in self.grad_b.iter_mut().zip(dzr.iter()) {
+                *gb += d;
+            }
+        }
+        kernels::gemm_tn_acc(rows, oc, ick, &ws.dy, &ws.xc, &mut self.grad_w);
+    }
+
+    /// Alloc-free single-window inference for the single-input-channel
+    /// case: returns the *time-major* output (`out_len x out_ch` flat),
+    /// ready to be consumed as a strided LSTM input sequence. Values are
+    /// bitwise-identical to [`Conv1d::forward_inference`] (which is
+    /// channel-major).
+    pub fn forward_inference_cached<'a>(
+        &self,
+        window: &[f64],
+        cache: &'a mut ConvInferenceCache,
+    ) -> &'a [f64] {
+        debug_assert_eq!(
+            self.in_channels, 1,
+            "cached conv inference is single-channel"
+        );
+        debug_assert!(
+            window.len() >= self.kernel,
+            "Conv1d: input shorter than kernel"
+        );
+        let t_out = self.out_len(window.len());
+        let oc = self.out_channels;
+        cache.y.resize(t_out * oc, 0.0);
+        for t in 0..t_out {
+            let row = &mut cache.y[t * oc..(t + 1) * oc];
+            row.copy_from_slice(&self.b);
+            kernels::gemm_acc(
+                oc,
+                self.kernel,
+                1,
+                &self.w,
+                &window[t..t + self.kernel],
+                row,
+            );
+            self.activation.apply_in_place(row);
+        }
+        &cache.y[..t_out * oc]
     }
 }
 
@@ -235,6 +448,82 @@ mod tests {
                     "in[{ic}][{t}]: {numeric} vs {}",
                     gin[ic][t]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_and_backward_match_per_sample_bitwise() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut batched = Conv1d::new(&mut rng, 1, 3, 3, Activation::Relu);
+        let mut reference = batched.clone();
+        let wins: Vec<Vec<f64>> = (0..4)
+            .map(|s| {
+                (0..7)
+                    .map(|t| ((s * 13 + t * 5) % 11) as f64 * 0.3 - 1.2)
+                    .collect()
+            })
+            .collect();
+        let t_out = batched.out_len(7);
+
+        let mut ws = ConvWorkspace::new();
+        batched.stage_batch(&mut ws, wins.len(), 7);
+        for (s, win) in wins.iter().enumerate() {
+            ws.input_mut(s).copy_from_slice(win);
+        }
+        batched.forward_batch(&mut ws);
+        // Upstream gradients: arbitrary but deterministic, some zeros.
+        for s in 0..wins.len() {
+            for t in 0..t_out {
+                let row = ws.grad_output_row_mut(s, t);
+                for (ocv, g) in row.iter_mut().enumerate() {
+                    *g = if (s + t + ocv) % 3 == 0 {
+                        0.0
+                    } else {
+                        0.1 * (s as f64 + 1.0) - 0.05 * (t + ocv) as f64
+                    };
+                }
+            }
+        }
+        // Per-sample reference over the same data and gradients.
+        for (s, win) in wins.iter().enumerate() {
+            let out = reference.forward(std::slice::from_ref(win));
+            for t in 0..t_out {
+                for oc in 0..3 {
+                    assert_eq!(ws.output_row(s, t)[oc], out[oc][t], "y s={s} t={t} oc={oc}");
+                }
+            }
+            let gy: Vec<Vec<f64>> = (0..3)
+                .map(|oc| {
+                    (0..t_out)
+                        .map(|t| {
+                            if (s + t + oc) % 3 == 0 {
+                                0.0
+                            } else {
+                                0.1 * (s as f64 + 1.0) - 0.05 * (t + oc) as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            reference.backward(&gy);
+        }
+        batched.backward_batch_weights_only(&mut ws);
+        assert_eq!(batched.grad_w, reference.grad_w);
+        assert_eq!(batched.grad_b, reference.grad_b);
+    }
+
+    #[test]
+    fn cached_inference_is_bitwise_equal_to_vec_path() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let conv = Conv1d::new(&mut rng, 1, 4, 2, Activation::Relu);
+        let window = [0.4, -0.2, 0.9, 0.0, -0.7, 0.3];
+        let mut cache = ConvInferenceCache::default();
+        let y = conv.forward_inference_cached(&window, &mut cache);
+        let expect = conv.forward_inference(&[window.to_vec()]);
+        for t in 0..conv.out_len(window.len()) {
+            for oc in 0..4 {
+                assert_eq!(y[t * 4 + oc], expect[oc][t], "t={t} oc={oc}");
             }
         }
     }

@@ -178,6 +178,19 @@ impl Dense {
         out
     }
 
+    /// Alloc-free variant of [`Dense::forward_inference`]: writes the
+    /// output into a caller-provided buffer (`out_dim` values,
+    /// bitwise-identical to the allocating path).
+    pub fn forward_inference_into(&self, input: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(input.len(), self.in_dim, "Dense forward: input dim");
+        debug_assert_eq!(out.len(), self.out_dim, "Dense forward: output dim");
+        out.copy_from_slice(&self.b);
+        for (o, wrow) in out.iter_mut().zip(self.w.chunks_exact(self.in_dim)) {
+            *o += eadrl_linalg::vector::dot(wrow, input);
+        }
+        self.activation.apply_in_place(out);
+    }
+
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the input.
     ///

@@ -213,6 +213,92 @@ mod tests {
     }
 
     #[test]
+    fn lstm_fused_batched_backward_passes_the_check() {
+        use crate::lstm::{Lstm, RecurrentWorkspace};
+
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut lstm = Lstm::new(&mut rng, 1, 4);
+        let windows: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..5).map(|t| ((i * 5 + t) as f64 * 0.37).sin()).collect())
+            .collect();
+
+        // Populate the gradients through the fused batched BPTT path,
+        // with upstream gradient dL/dh = h, i.e. L = Σ_s ½‖h_last‖².
+        let mut ws = RecurrentWorkspace::new();
+        ws.stage(windows.len(), 5, 1, 4);
+        for (s, w) in windows.iter().enumerate() {
+            for (t, v) in w.iter().enumerate() {
+                ws.set_input(s, t, std::slice::from_ref(v));
+            }
+        }
+        lstm.zero_grad();
+        lstm.forward_batch(&mut ws);
+        let grad: Vec<f64> = ws.h_last().to_vec();
+        lstm.backward_batch_last(&grad, &mut ws, false);
+
+        let loss = |net: &mut Lstm| -> f64 {
+            windows
+                .iter()
+                .map(|w| {
+                    let seq: Vec<Vec<f64>> = w.iter().map(|&v| vec![v]).collect();
+                    let h = net.forward_inference(&seq);
+                    0.5 * h.iter().map(|v| v * v).sum::<f64>()
+                })
+                .sum()
+        };
+        let indices = probe_indices(lstm.param_count(), 16);
+        let report = check_gradients(&mut lstm, loss, &indices, 1e-6);
+        assert!(report.passes(1e-5), "{report:?}");
+        assert_eq!(report.checked, 16);
+    }
+
+    #[test]
+    fn conv_fused_batched_backward_passes_the_check() {
+        use crate::conv::{Conv1d, ConvWorkspace};
+
+        let mut rng = DetRng::seed_from_u64(12);
+        let mut conv = Conv1d::new(&mut rng, 1, 3, 2, Activation::Tanh);
+        let windows: Vec<Vec<f64>> = (0..2)
+            .map(|i| (0..6).map(|t| ((i * 6 + t) as f64 * 0.53).cos()).collect())
+            .collect();
+        let t_out = 6 - 2 + 1;
+
+        // Fused im2col forward + weights-only backward, with upstream
+        // gradient dL/dy = y, i.e. L = Σ ½‖y‖² over the whole batch.
+        let mut ws = ConvWorkspace::new();
+        conv.stage_batch(&mut ws, windows.len(), 6);
+        for (s, w) in windows.iter().enumerate() {
+            ws.input_mut(s).copy_from_slice(w);
+        }
+        conv.zero_grad();
+        conv.forward_batch(&mut ws);
+        for s in 0..windows.len() {
+            for t in 0..t_out {
+                let y: Vec<f64> = ws.output_row(s, t).to_vec();
+                ws.grad_output_row_mut(s, t).copy_from_slice(&y);
+            }
+        }
+        conv.backward_batch_weights_only(&mut ws);
+
+        let loss = |net: &mut Conv1d| -> f64 {
+            windows
+                .iter()
+                .map(|w| {
+                    let y = net.forward_inference(std::slice::from_ref(w));
+                    0.5 * y
+                        .iter()
+                        .flat_map(|ch| ch.iter())
+                        .map(|v| v * v)
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let indices = probe_indices(conv.param_count(), 9);
+        let report = check_gradients(&mut conv, loss, &indices, 1e-6);
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
     fn probe_indices_cover_the_range() {
         let idx = probe_indices(100, 5);
         assert_eq!(idx.len(), 5);

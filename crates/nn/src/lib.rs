@@ -9,11 +9,13 @@
 //! * the neural base forecasters of `eadrl-models` (MLP, LSTM, Bi-LSTM,
 //!   CNN-LSTM, Conv-LSTM).
 //!
-//! Scope is deliberately small: single-sample forward/backward passes over
-//! `f64` slices, explicit gradient buffers per layer, and optimizers that
-//! walk a network's parameters via the [`Network`] visitor. The networks in
-//! the paper are tiny (states are ω ≈ 10-dimensional windows, actions are
-//! m ≤ 43-dimensional weight vectors), so clarity beats vectorization here.
+//! Scope is deliberately small: forward/backward passes over `f64` slices,
+//! explicit gradient buffers per layer, and optimizers that walk a
+//! network's parameters via the [`Network`] visitor. Single-sample paths
+//! are the readable reference implementations; the hot training loops go
+//! through batched, workspace-backed paths (minibatch-as-matrix GEMMs for
+//! [`Dense`]/[`Mlp`], stacked-gate recurrent kernels for [`Lstm`]/
+//! [`BiLstm`]/[`Conv1d`]) that are proven bitwise-identical to them.
 //!
 //! Layers cache their forward activations, so the usage pattern is strictly
 //! `forward` → `backward` → optimizer `step` → `zero_grad`.
@@ -30,11 +32,14 @@ pub mod network;
 pub mod optimizer;
 
 pub use activation::Activation;
-pub use conv::Conv1d;
+pub use conv::{Conv1d, ConvInferenceCache, ConvWorkspace};
 pub use dense::Dense;
 pub use gradcheck::{check_gradients, check_gradients_batched, probe_indices, GradCheckReport};
 pub use loss::{mse_loss, mse_loss_grad};
-pub use lstm::{BiLstm, Lstm};
+pub use lstm::{
+    BiLstm, BiLstmInferenceCache, BiRecurrentWorkspace, Lstm, LstmInferenceCache,
+    RecurrentWorkspace,
+};
 pub use mlp::Mlp;
 pub use network::{BatchNetwork, Network};
 pub use optimizer::{Adam, Optimizer, Sgd};

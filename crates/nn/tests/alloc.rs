@@ -1,17 +1,23 @@
 //! Counting-allocator proof of the zero-steady-state-allocation claim:
-//! after warm-up, `forward_batch`/`backward_batch` must not touch the heap.
+//! after warm-up, `forward_batch`/`backward_batch` must not touch the
+//! heap — for the MLP matrices and for the recurrent workspaces
+//! (LSTM/BiLSTM BPTT, Conv1d im2col) and strided inference caches.
 //!
 //! This binary holds exactly ONE test: the global allocator is
 //! instrumented with a thread-local counter, and while counting is
 //! per-thread (so parallel test threads cannot interfere with the
 //! counter), keeping the binary single-test makes the measurement window
-//! unambiguous.
+//! unambiguous. The recurrent sections live inside the same test for the
+//! same reason.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use eadrl_linalg::Matrix;
-use eadrl_nn::{Activation, Mlp, Network};
+use eadrl_nn::{
+    Activation, BiLstm, BiLstmInferenceCache, BiRecurrentWorkspace, Conv1d, ConvWorkspace, Lstm,
+    LstmInferenceCache, Mlp, Network, RecurrentWorkspace,
+};
 use eadrl_rng::DetRng;
 
 thread_local! {
@@ -89,5 +95,131 @@ fn batched_passes_are_allocation_free_after_warm_up() {
         after - before,
         0,
         "steady-state batched forward/backward must not allocate"
+    );
+
+    // ---- Recurrent workspaces: LSTM BPTT (with and without input
+    // grads), BiLSTM, Conv1d im2col — restaging at the same shape must
+    // reuse every buffer.
+    let (b, t, in_dim, hidden) = (16, 6, 2, 8);
+    let data: Vec<f64> = (0..b * t * in_dim)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let mut lstm = Lstm::new(&mut rng, in_dim, hidden);
+    let mut ws = RecurrentWorkspace::new();
+    let grad_h: Vec<f64> = (0..b * hidden)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let lstm_pass = |lstm: &mut Lstm, ws: &mut RecurrentWorkspace, want_x: bool| {
+        ws.stage(b, t, in_dim, hidden);
+        for s in 0..b {
+            for step in 0..t {
+                let off = (s * t + step) * in_dim;
+                ws.set_input(s, step, &data[off..off + in_dim]);
+            }
+        }
+        lstm.zero_grad();
+        lstm.forward_batch(ws);
+        lstm.backward_batch_last(&grad_h, ws, want_x);
+    };
+    for _ in 0..3 {
+        lstm_pass(&mut lstm, &mut ws, false);
+        lstm_pass(&mut lstm, &mut ws, true);
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        lstm_pass(&mut lstm, &mut ws, false);
+        lstm_pass(&mut lstm, &mut ws, true);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state LSTM batched forward/backward must not allocate"
+    );
+
+    let mut bilstm = BiLstm::new(&mut rng, in_dim, hidden);
+    let mut bws = BiRecurrentWorkspace::new();
+    let grad_out: Vec<f64> = (0..b * 2 * hidden)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let bi_pass = |bilstm: &mut BiLstm, bws: &mut BiRecurrentWorkspace| {
+        bws.stage(b, t, in_dim, hidden);
+        for s in 0..b {
+            for step in 0..t {
+                let off = (s * t + step) * in_dim;
+                bws.set_input(s, step, &data[off..off + in_dim]);
+            }
+        }
+        bilstm.zero_grad();
+        bilstm.forward_batch(bws);
+        bilstm.backward_batch_last(&grad_out, bws, false);
+    };
+    for _ in 0..3 {
+        bi_pass(&mut bilstm, &mut bws);
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        bi_pass(&mut bilstm, &mut bws);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state BiLSTM batched forward/backward must not allocate"
+    );
+
+    let in_len = 12;
+    let mut conv = Conv1d::new(&mut rng, 1, 4, 3, Activation::Relu);
+    let mut cws = ConvWorkspace::new();
+    let cdata: Vec<f64> = (0..b * in_len)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let conv_pass = |conv: &mut Conv1d, cws: &mut ConvWorkspace| {
+        conv.stage_batch(cws, b, in_len);
+        for s in 0..b {
+            cws.input_mut(s)
+                .copy_from_slice(&cdata[s * in_len..(s + 1) * in_len]);
+        }
+        conv.zero_grad();
+        conv.forward_batch(cws);
+        for s in 0..b {
+            for step in 0..in_len - 2 {
+                for g in cws.grad_output_row_mut(s, step).iter_mut() {
+                    *g = 0.5;
+                }
+            }
+        }
+        conv.backward_batch_weights_only(cws);
+    };
+    for _ in 0..3 {
+        conv_pass(&mut conv, &mut cws);
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        conv_pass(&mut conv, &mut cws);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state Conv1d batched forward/backward must not allocate"
+    );
+
+    // ---- Strided inference caches: warm predictions are alloc-free.
+    let window: Vec<f64> = (0..in_len).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut lc = LstmInferenceCache::default();
+    let mut bc = BiLstmInferenceCache::default();
+    let slstm = Lstm::new(&mut rng, 1, hidden);
+    let sbi = BiLstm::new(&mut rng, 1, hidden);
+    for _ in 0..3 {
+        slstm.forward_inference_cached(&window, 1, &mut lc);
+        sbi.forward_inference_cached(&window, 1, &mut bc);
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        slstm.forward_inference_cached(&window, 1, &mut lc);
+        sbi.forward_inference_cached(&window, 1, &mut bc);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm cached inference must not allocate"
     );
 }

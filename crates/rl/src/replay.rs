@@ -50,6 +50,16 @@ pub struct ReplayBuffer {
     capacity: usize,
     storage: Vec<Transition>,
     next_slot: usize,
+    /// Cached reward median; `None` marks it stale. Every `push`
+    /// invalidates it, every diversity `sample` refreshes it at most
+    /// once — so an update step that samples without pushing in between
+    /// pays for one sort, not one per call.
+    median_cache: Option<f64>,
+    /// Reusable scratch for the median sort (cleared, capacity kept).
+    sort_scratch: Vec<f64>,
+    /// Reusable index pools for the median split (cleared, capacity kept).
+    high: Vec<usize>,
+    low: Vec<usize>,
 }
 
 impl ReplayBuffer {
@@ -64,6 +74,10 @@ impl ReplayBuffer {
             capacity,
             storage: Vec::with_capacity(capacity.min(4096)),
             next_slot: 0,
+            median_cache: None,
+            sort_scratch: Vec::new(),
+            high: Vec::new(),
+            low: Vec::new(),
         }
     }
 
@@ -84,6 +98,7 @@ impl ReplayBuffer {
 
     /// Stores a transition, overwriting the oldest once at capacity.
     pub fn push(&mut self, t: Transition) {
+        self.median_cache = None;
         if self.storage.len() < self.capacity {
             self.storage.push(t);
         } else {
@@ -94,11 +109,18 @@ impl ReplayBuffer {
 
     /// Draws `n` transitions (with replacement) using `strategy`.
     ///
+    /// Takes `&mut self` so diversity sampling can use (and refresh) the
+    /// cached reward median instead of sorting the buffer on every call.
+    /// The minibatches are bitwise-identical to the uncached
+    /// implementation: the cached median is produced by the exact same
+    /// sort-and-pick as [`Self::reward_median`], and the RNG draw
+    /// sequence is unchanged.
+    ///
     /// Diversity sampling degrades gracefully: when every reward equals the
     /// median (e.g. constant rewards) one of the halves would be empty, and
     /// the call falls back to uniform sampling for the missing half.
     pub fn sample(
-        &self,
+        &mut self,
         n: usize,
         strategy: SamplingStrategy,
         rng: &mut DetRng,
@@ -111,12 +133,19 @@ impl ReplayBuffer {
                 .map(|_| &self.storage[rng.random_range(0..self.storage.len())])
                 .collect(),
             SamplingStrategy::Diversity => {
-                let median = self.reward_median();
-                let (high, low): (Vec<usize>, Vec<usize>) =
-                    (0..self.storage.len()).partition(|&i| self.storage[i].reward >= median);
+                let median = self.median_cached();
+                self.high.clear();
+                self.low.clear();
+                for i in 0..self.storage.len() {
+                    if self.storage[i].reward >= median {
+                        self.high.push(i);
+                    } else {
+                        self.low.push(i);
+                    }
+                }
                 let mut out = Vec::with_capacity(n);
                 let half = n / 2;
-                for (pool, count) in [(&high, half), (&low, n - half)] {
+                for (pool, count) in [(&self.high, half), (&self.low, n - half)] {
                     for _ in 0..count {
                         let idx = if pool.is_empty() {
                             rng.random_range(0..self.storage.len())
@@ -129,6 +158,20 @@ impl ReplayBuffer {
                 out
             }
         }
+    }
+
+    /// Cached reward median: recomputed (into reusable scratch) only when
+    /// a `push` since the last call invalidated it.
+    fn median_cached(&mut self) -> f64 {
+        if let Some(m) = self.median_cache {
+            return m;
+        }
+        self.sort_scratch.clear();
+        self.sort_scratch
+            .extend(self.storage.iter().map(|t| t.reward));
+        let m = median_of_unsorted(&mut self.sort_scratch);
+        self.median_cache = Some(m);
+        m
     }
 
     /// Fraction of stored transitions whose reward is at or above the
@@ -145,18 +188,28 @@ impl ReplayBuffer {
     }
 
     /// Median of the stored rewards (`NaN` when empty).
+    ///
+    /// Always recomputes (it takes `&self`); the training loop goes
+    /// through the cached variant inside [`Self::sample`] instead.
     pub fn reward_median(&self) -> f64 {
-        if self.storage.is_empty() {
-            return f64::NAN;
-        }
         let mut rewards: Vec<f64> = self.storage.iter().map(|t| t.reward).collect();
-        rewards.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let n = rewards.len();
-        if n % 2 == 1 {
-            rewards[n / 2]
-        } else {
-            0.5 * (rewards[n / 2 - 1] + rewards[n / 2])
-        }
+        median_of_unsorted(&mut rewards)
+    }
+}
+
+/// Sorts `rewards` in place and returns the median (`NaN` when empty).
+/// Single definition shared by the cached and uncached paths so they are
+/// bitwise-identical by construction.
+fn median_of_unsorted(rewards: &mut [f64]) -> f64 {
+    if rewards.is_empty() {
+        return f64::NAN;
+    }
+    rewards.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = rewards.len();
+    if n % 2 == 1 {
+        rewards[n / 2]
+    } else {
+        0.5 * (rewards[n / 2 - 1] + rewards[n / 2])
     }
 }
 
@@ -242,12 +295,71 @@ mod tests {
 
     #[test]
     fn empty_buffer_samples_nothing() {
-        let buf = ReplayBuffer::new(5);
+        let mut buf = ReplayBuffer::new(5);
         let mut rng = DetRng::seed_from_u64(3);
         assert!(buf
             .sample(4, SamplingStrategy::Uniform, &mut rng)
             .is_empty());
         assert!(buf.reward_median().is_nan());
+    }
+
+    #[test]
+    fn diversity_sample_rewards_are_pinned() {
+        // Regression pin for the cached-median refactor: the exact draw
+        // sequence of a seeded diversity sample must never change, or
+        // every committed training baseline shifts.
+        let mut buf = ReplayBuffer::new(16);
+        for i in 0..10 {
+            buf.push(t(i as f64)); // rewards 0..9, median 4.5
+        }
+        let mut rng = DetRng::seed_from_u64(42);
+        let drawn: Vec<f64> = buf
+            .sample(6, SamplingStrategy::Diversity, &mut rng)
+            .iter()
+            .map(|x| x.reward)
+            .collect();
+        // First half from the >= 4.5 pool, second half from below it.
+        assert!(drawn[..3].iter().all(|&r| r >= 4.5));
+        assert!(drawn[3..].iter().all(|&r| r < 4.5));
+        assert_eq!(drawn, vec![6.0, 8.0, 9.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn cached_median_matches_recompute_under_interleaved_push_sample() {
+        // Interleave pushes (which invalidate the cache) with samples
+        // (which refresh it) and check the cached value and the drawn
+        // minibatches stay bitwise-identical to a never-cached reference.
+        let mut cached = ReplayBuffer::new(8);
+        let mut reference = ReplayBuffer::new(8);
+        let mut rng_c = DetRng::seed_from_u64(7);
+        let mut rng_r = DetRng::seed_from_u64(7);
+        for step in 0..30 {
+            let r = ((step * 37) % 11) as f64 - 5.0;
+            cached.push(t(r));
+            reference.push(t(r));
+            if step % 3 == 0 {
+                continue; // some pushes without a sample in between
+            }
+            // Sample twice per step: the second call hits the warm cache.
+            for _ in 0..2 {
+                let a: Vec<f64> = cached
+                    .sample(4, SamplingStrategy::Diversity, &mut rng_c)
+                    .iter()
+                    .map(|x| x.reward)
+                    .collect();
+                // The reference recomputes from scratch every time: it is
+                // never sampled directly, so its own cache stays invalid
+                // (push clears it) and every clone starts cold.
+                let b: Vec<f64> = reference
+                    .clone()
+                    .sample(4, SamplingStrategy::Diversity, &mut rng_r)
+                    .iter()
+                    .map(|x| x.reward)
+                    .collect();
+                assert_eq!(a, b, "cached vs recomputed diverged at step {step}");
+            }
+            assert_eq!(cached.median_cached(), cached.reward_median());
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Combiner for TopSel {
 
     fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
         for (p, &a) in preds.iter().zip(actuals.iter()) {
-            self.window.push(p.clone(), a);
+            self.window.push(p, a);
         }
     }
 
@@ -72,7 +72,7 @@ impl Combiner for TopSel {
     }
 
     fn observe(&mut self, preds: &[f64], actual: f64) {
-        self.window.push(preds.to_vec(), actual);
+        self.window.push(preds, actual);
     }
 }
 
@@ -187,7 +187,7 @@ impl Combiner for Clus {
 
     fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
         for (p, &a) in preds.iter().zip(actuals.iter()) {
-            self.window.push(p.clone(), a);
+            self.window.push(p, a);
         }
     }
 
@@ -205,7 +205,7 @@ impl Combiner for Clus {
     }
 
     fn observe(&mut self, preds: &[f64], actual: f64) {
-        self.window.push(preds.to_vec(), actual);
+        self.window.push(preds, actual);
     }
 }
 
@@ -271,7 +271,7 @@ impl Combiner for Demsc {
 
     fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
         for (p, &a) in preds.iter().zip(actuals.iter()) {
-            self.window.push(p.clone(), a);
+            self.window.push(p, a);
         }
         if let Some(first) = preds.first() {
             self.reselect(first.len());
@@ -295,7 +295,7 @@ impl Combiner for Demsc {
         // Ensemble error with the current committee, fed to the detector.
         let w = self.weights(m);
         let forecast: f64 = w.iter().zip(preds.iter()).map(|(w, p)| w * p).sum();
-        self.window.push(preds.to_vec(), actual);
+        self.window.push(preds, actual);
         if self.detector.update((forecast - actual).abs()) {
             self.reselect(m);
         }

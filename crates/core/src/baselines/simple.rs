@@ -52,7 +52,7 @@ impl Combiner for SlidingWindowEnsemble {
 
     fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
         for (p, &a) in preds.iter().zip(actuals.iter()) {
-            self.window.push(p.clone(), a);
+            self.window.push(p, a);
         }
     }
 
@@ -64,7 +64,7 @@ impl Combiner for SlidingWindowEnsemble {
     }
 
     fn observe(&mut self, preds: &[f64], actual: f64) {
-        self.window.push(preds.to_vec(), actual);
+        self.window.push(preds, actual);
     }
 }
 

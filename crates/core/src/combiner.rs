@@ -1,6 +1,7 @@
 //! The online-combination interface shared by EA-DRL and all baselines.
 
 use eadrl_linalg::vector::dot;
+use eadrl_timeseries::window::StepRing;
 
 /// An online ensemble-combination method.
 ///
@@ -126,8 +127,7 @@ pub fn inverse_error_weights(errors: &[f64]) -> Vec<f64> {
 /// machinery that SWE, Top.sel, Clus and DEMSC share.
 #[derive(Debug, Clone)]
 pub struct SlidingErrorWindow {
-    window: usize,
-    history: Vec<(Vec<f64>, f64)>,
+    history: StepRing,
 }
 
 impl SlidingErrorWindow {
@@ -138,17 +138,15 @@ impl SlidingErrorWindow {
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "sliding window must be positive");
         SlidingErrorWindow {
-            window,
-            history: Vec::new(),
+            history: StepRing::new(window),
         }
     }
 
-    /// Adds one step, evicting the oldest beyond the window.
-    pub fn push(&mut self, preds: Vec<f64>, actual: f64) {
-        self.history.push((preds, actual));
-        if self.history.len() > self.window {
-            self.history.remove(0);
-        }
+    /// Adds one step, evicting the oldest beyond the window. The evicted
+    /// step's row allocation is reused, so a saturated window records
+    /// steps without allocating.
+    pub fn push(&mut self, preds: &[f64], actual: f64) {
+        self.history.record(preds, actual);
     }
 
     /// Number of stored steps.
@@ -167,7 +165,7 @@ impl SlidingErrorWindow {
             return None;
         }
         let mut sse = vec![0.0; m];
-        for (preds, actual) in &self.history {
+        for (preds, actual) in self.history.iter() {
             for (s, &p) in sse.iter_mut().zip(preds.iter()) {
                 let e = p - actual;
                 *s += e * e;
@@ -254,9 +252,9 @@ mod tests {
     #[test]
     fn sliding_window_evicts_and_scores() {
         let mut w = SlidingErrorWindow::new(2);
-        w.push(vec![1.0, 5.0], 1.0); // errors 0, 4
-        w.push(vec![2.0, 1.0], 1.0); // errors 1, 0
-        w.push(vec![3.0, 1.0], 1.0); // errors 2, 0 (evicts first)
+        w.push(&[1.0, 5.0], 1.0); // errors 0, 4
+        w.push(&[2.0, 1.0], 1.0); // errors 1, 0
+        w.push(&[3.0, 1.0], 1.0); // errors 2, 0 (evicts first)
         assert_eq!(w.len(), 2);
         let rmse = w.model_rmse(2).unwrap();
         assert!((rmse[0] - ((1.0 + 4.0) / 2.0_f64).sqrt()).abs() < 1e-12);

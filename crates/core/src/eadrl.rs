@@ -10,6 +10,7 @@ use eadrl_models::{fallback_forecast, Forecaster, ModelError};
 use eadrl_obs::Level;
 use eadrl_rl::{ActionSquash, DdpgAgent, DdpgConfig, EpisodeStats, SamplingStrategy, UpdatePath};
 use eadrl_timeseries::sanitize::sanitize_series;
+use eadrl_timeseries::window::SlideWindow;
 
 /// Shannon entropy of a weight vector (natural log) — 0 for a one-hot
 /// weighting, `ln m` for the uniform one. A telemetry-facing summary of
@@ -143,7 +144,7 @@ pub struct EaDrlPolicy {
     config: EaDrlConfig,
     agent: Option<DdpgAgent>,
     /// Unscaled window of recent ensemble outputs (state of §II-B).
-    window: Vec<f64>,
+    window: SlideWindow,
     last_weights: Vec<f64>,
     learning_curve: Vec<EpisodeStats>,
 }
@@ -151,10 +152,11 @@ pub struct EaDrlPolicy {
 impl EaDrlPolicy {
     /// Creates an untrained policy.
     pub fn new(config: EaDrlConfig) -> Self {
+        let window = SlideWindow::new(config.omega.max(1));
         EaDrlPolicy {
             config,
             agent: None,
-            window: Vec::new(),
+            window,
             last_weights: Vec::new(),
             learning_curve: Vec::new(),
         }
@@ -179,7 +181,7 @@ impl EaDrlPolicy {
     /// Captures the deployed actor for persistence; `None` before training.
     pub fn snapshot(&mut self) -> Option<PolicySnapshot> {
         let omega = self.config.omega;
-        let window = self.window.clone();
+        let window = self.window.to_vec();
         let agent = self.agent.as_mut()?;
         Some(PolicySnapshot {
             omega,
@@ -201,10 +203,12 @@ impl EaDrlPolicy {
         config.ddpg.squash = snapshot.squash;
         let mut agent = DdpgAgent::new(snapshot.omega, snapshot.action_dim, config.ddpg.clone());
         agent.load_actor_params(&snapshot.params);
+        let mut window = SlideWindow::new(config.omega.max(1));
+        window.assign(&snapshot.window);
         EaDrlPolicy {
             config,
             agent: Some(agent),
-            window: snapshot.window.clone(),
+            window,
             last_weights: Vec::new(),
             learning_curve: Vec::new(),
         }
@@ -220,11 +224,7 @@ impl EaDrlPolicy {
     }
 
     fn push_output(&mut self, value: f64) {
-        self.window.push(value);
-        let cap = self.config.omega.max(1);
-        if self.window.len() > cap {
-            self.window.remove(0);
-        }
+        self.window.slide(value);
     }
 
     /// Advances the state window with the ensemble value actually served.
@@ -235,6 +235,107 @@ impl EaDrlPolicy {
     /// raw-weight dot product inside `observe` would not reproduce.
     pub(crate) fn observe_served(&mut self, served: f64) {
         self.push_output(served);
+    }
+
+    /// Continues training the deployed actor on a fresh validation
+    /// segment — the warm-start path of the online refresh.
+    ///
+    /// Where `warm_up` spawns fresh restarts, `refine` keeps the current
+    /// actor (typically restored from a [`PolicySnapshot`] of the serving
+    /// policy) and runs `episodes` additional training episodes against
+    /// the new segment, with the same holdout split, checkpoint selection
+    /// and static informed-weighting candidates. The untouched deployed
+    /// actor competes as the episode-0 checkpoint, so on the holdout the
+    /// refinement can only keep or improve the RMSE, never regress it.
+    ///
+    /// Returns `true` when the refinement ran (a trained agent and a
+    /// long-enough segment with matching pool width); `false` leaves the
+    /// policy exactly as it was, signalling the caller to fall back to a
+    /// cold `warm_up`.
+    pub fn refine(&mut self, preds: &[Vec<f64>], actuals: &[f64], episodes: usize) -> bool {
+        let _span = eadrl_obs::span("eadrl.warm_up");
+        let omega = self.config.omega;
+        if actuals.len() <= omega + 1 || preds.is_empty() {
+            eadrl_obs::warn(
+                "eadrl.warm_up.skipped",
+                &[("val_len", actuals.len().into()), ("omega", omega.into())],
+            );
+            return false;
+        }
+        let m = preds[0].len();
+        let Some(mut agent) = self.agent.take() else {
+            return false;
+        };
+        if agent.action_dim() != m {
+            // The pool width changed under the deployed policy; the old
+            // actor cannot score this matrix.
+            self.agent = Some(agent);
+            return false;
+        }
+        let holdout = self.config.selection_holdout.clamp(0.0, 0.6);
+        let head_len = ((preds.len() as f64) * (1.0 - holdout)).round() as usize;
+        let head_len = head_len.clamp(omega + 2, preds.len());
+        let mut env = EnsembleEnv::new(
+            preds[..head_len].to_vec(),
+            actuals[..head_len].to_vec(),
+            omega,
+            self.config.reward,
+            self.config.max_iter,
+        );
+        let cadence = self.config.eval_every.max(1);
+        let init_score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+        let mut best = (init_score, agent.actor_params());
+        let mut best_source = String::from("snapshot");
+        // The static candidates derisk the refinement exactly as they
+        // derisk the offline warm-up: the informed weighting, recomputed
+        // on the fresh segment, competes with the untouched and the
+        // refined actor on the same holdout. They cost four greedy
+        // rollouts — no training episodes.
+        if self.config.informed_init {
+            for temperature in [3.0, 6.0, 10.0, 15.0] {
+                let mut candidate = DdpgAgent::new(omega, m, self.config.ddpg.clone());
+                let bias = informed_logits(preds, actuals, temperature, self.config.ddpg.squash);
+                candidate.init_actor_output_bias(&bias);
+                let score = greedy_rollout_rmse(&candidate, preds, actuals, omega, head_len);
+                eadrl_obs::event(
+                    "eadrl.candidate",
+                    Level::Debug,
+                    &[
+                        ("temperature", temperature.into()),
+                        ("holdout_rmse", score.into()),
+                    ],
+                );
+                if score < best.0 {
+                    best = (score, candidate.actor_params());
+                    best_source = format!("static(T={temperature})");
+                }
+            }
+        }
+        let mut curve = Vec::with_capacity(episodes);
+        for episode in 0..episodes {
+            curve.push(agent.run_episode(&mut env, true));
+            if (episode + 1) % cadence == 0 || episode + 1 == episodes {
+                let score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+                if score < best.0 {
+                    best = (score, agent.actor_params());
+                    best_source = String::from("warm_start");
+                }
+            }
+        }
+        self.learning_curve = curve;
+        eadrl_obs::event(
+            "eadrl.selection",
+            Level::Info,
+            &[
+                ("source", best_source.as_str().into()),
+                ("holdout_rmse", best.0.into()),
+                ("deployed", true.into()),
+            ],
+        );
+        agent.load_actor_params(&best.1);
+        self.agent = Some(agent);
+        self.window.assign(&actuals[actuals.len() - omega..]);
+        true
     }
 }
 
@@ -293,60 +394,83 @@ impl Combiner for EaDrlPolicy {
             }
         }
         self.learning_curve.clear();
-        for restart in 0..self.config.restarts.max(1) {
-            let mut env = EnsembleEnv::new(
-                preds[..head_len].to_vec(),
-                actuals[..head_len].to_vec(),
-                omega,
-                self.config.reward,
-                self.config.max_iter,
-            );
-            let mut ddpg = self.config.ddpg.clone();
-            ddpg.seed = ddpg.seed.wrapping_add(1000 * restart as u64);
-            let squash = ddpg.squash;
-            let mut agent = DdpgAgent::new(omega, m, ddpg);
-            if self.config.informed_init {
-                let bias = informed_logits(preds, actuals, self.config.init_temperature, squash);
-                agent.init_actor_output_bias(&bias);
-            }
-            let mut curve = Vec::with_capacity(self.config.episodes);
-            let cadence = self.config.eval_every.max(1);
-            // Episode-0 checkpoint: the informed initialization itself
-            // competes in the selection.
-            let init_score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
-            let mut restart_best: Option<(f64, Vec<f64>)> =
-                Some((init_score, agent.actor_params()));
-            for episode in 0..self.config.episodes {
-                curve.push(agent.run_episode(&mut env, true));
-                if (episode + 1) % cadence == 0 || episode + 1 == self.config.episodes {
-                    let score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
-                    if restart_best.as_ref().is_none_or(|(b, _)| score < *b) {
-                        restart_best = Some((score, agent.actor_params()));
+        // Each restart is a pure function of its index (the DDPG seed is
+        // derived from it), so the restarts fan out over the deterministic
+        // worker pool: static index-ordered chunks, per-worker telemetry
+        // buffered and flushed in restart order after the join (so the
+        // trace reads exactly like the old serial loop), and the merge
+        // below walks the results in restart order — winner selection is
+        // bitwise identical at every `EADRL_PAR_THREADS`.
+        let config = &self.config;
+        let restart_results = eadrl_par::par_map_indexed(
+            (0..config.restarts.max(1)).collect::<Vec<usize>>(),
+            |_, restart| {
+                let mut env = EnsembleEnv::new(
+                    preds[..head_len].to_vec(),
+                    actuals[..head_len].to_vec(),
+                    omega,
+                    config.reward,
+                    config.max_iter,
+                );
+                let mut ddpg = config.ddpg.clone();
+                ddpg.seed = ddpg.seed.wrapping_add(1000 * restart as u64);
+                let squash = ddpg.squash;
+                let mut agent = DdpgAgent::new(omega, m, ddpg);
+                if config.informed_init {
+                    let bias = informed_logits(preds, actuals, config.init_temperature, squash);
+                    agent.init_actor_output_bias(&bias);
+                }
+                let mut curve = Vec::with_capacity(config.episodes);
+                let cadence = config.eval_every.max(1);
+                // Episode-0 checkpoint: the informed initialization itself
+                // competes in the selection.
+                let init_score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+                let mut restart_best = (init_score, agent.actor_params());
+                for episode in 0..config.episodes {
+                    curve.push(agent.run_episode(&mut env, true));
+                    if (episode + 1) % cadence == 0 || episode + 1 == config.episodes {
+                        let score = greedy_rollout_rmse(&agent, preds, actuals, omega, head_len);
+                        if score < restart_best.0 {
+                            restart_best = (score, agent.actor_params());
+                        }
                     }
                 }
-            }
-            // The learning curve documents the (first restart's) training
-            // run regardless of which candidate is deployed.
-            if self.learning_curve.is_empty() {
-                self.learning_curve = curve;
-            }
-            if let Some((score, params)) = restart_best {
                 eadrl_obs::event(
                     "eadrl.restart",
                     Level::Info,
                     &[
                         ("restart", restart.into()),
                         ("init_rmse", init_score.into()),
-                        ("holdout_rmse", score.into()),
+                        ("holdout_rmse", restart_best.0.into()),
                     ],
                 );
-                let margin = 1.0 - self.config.selection_margin.clamp(0.0, 0.5);
-                if best.as_ref().is_none_or(|(b, _)| score < *b * margin) {
-                    agent.load_actor_params(&params);
-                    best = Some((score, params));
-                    best_source = format!("restart({restart})");
-                    selected_agent = Some(agent);
-                }
+                (curve, restart_best, agent)
+            },
+        );
+        // A restart that panics must surface as a panic here — the online
+        // refresh path wraps warm_up in catch_unwind and relies on that
+        // contract for its bounded-retry recovery. `resume_unwind`
+        // re-raises the worker's own panic (caught at the par boundary
+        // only to preserve merge ordering) instead of originating a new
+        // one, so callers observe the same unwind the serial loop raised.
+        let restart_results = match restart_results {
+            Ok(results) => results,
+            Err(err) => std::panic::resume_unwind(Box::new(err.to_string())),
+        };
+        for (restart, (curve, (score, params), mut agent)) in
+            restart_results.into_iter().enumerate()
+        {
+            // The learning curve documents the (first restart's) training
+            // run regardless of which candidate is deployed.
+            if self.learning_curve.is_empty() {
+                self.learning_curve = curve;
+            }
+            let margin = 1.0 - self.config.selection_margin.clamp(0.0, 0.5);
+            if best.as_ref().is_none_or(|(b, _)| score < *b * margin) {
+                agent.load_actor_params(&params);
+                best = Some((score, params));
+                best_source = format!("restart({restart})");
+                selected_agent = Some(agent);
             }
         }
         if let Some(agent) = selected_agent {
@@ -365,7 +489,7 @@ impl Combiner for EaDrlPolicy {
             ],
         );
         // Seed the online window with the latest actual values.
-        self.window = actuals[actuals.len() - omega..].to_vec();
+        self.window.assign(&actuals[actuals.len() - omega..]);
     }
 
     fn weights(&mut self, m: usize) -> Vec<f64> {
@@ -373,7 +497,8 @@ impl Combiner for EaDrlPolicy {
             (Some(agent), Some(state)) => agent.act(&state),
             _ => vec![1.0 / m as f64; m],
         };
-        self.last_weights = w.clone();
+        self.last_weights.clear();
+        self.last_weights.extend_from_slice(&w);
         eadrl_obs::event_with("eadrl.weights", Level::Debug, || {
             vec![
                 ("weights".to_string(), w.as_slice().into()),
@@ -394,12 +519,17 @@ impl Combiner for EaDrlPolicy {
             self.push_output(actual);
             return;
         }
-        let w = if self.last_weights.len() == preds.len() {
-            self.last_weights.clone()
+        // The cached weighting is read in place — no per-step clone. The
+        // uniform fallback multiplies each prediction by the same
+        // `1.0 / m` factor a materialized uniform vector would hold, in
+        // `dot`'s summation order, so the result is bitwise unchanged.
+        let ens = if self.last_weights.len() == preds.len() {
+            dot(&self.last_weights, preds)
         } else {
-            vec![1.0 / preds.len() as f64; preds.len()]
+            let u = 1.0 / preds.len() as f64;
+            preds.iter().map(|p| u * p).sum()
         };
-        self.push_output(dot(&w, preds));
+        self.push_output(ens);
     }
 }
 
@@ -472,7 +602,8 @@ fn greedy_rollout_rmse(
     omega: usize,
     score_from: usize,
 ) -> f64 {
-    let mut window = actuals[..omega].to_vec();
+    let mut window = SlideWindow::new(omega);
+    window.assign(&actuals[..omega]);
     let mut out = Vec::new();
     let mut truth = Vec::new();
     for t in omega..actuals.len() {
@@ -483,8 +614,7 @@ fn greedy_rollout_rmse(
             out.push(ens);
             truth.push(actuals[t]);
         }
-        window.remove(0);
-        window.push(ens);
+        window.slide(ens);
     }
     eadrl_timeseries::metrics::rmse(&truth, &out)
 }

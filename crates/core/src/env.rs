@@ -2,6 +2,7 @@
 
 use eadrl_rl::Environment;
 use eadrl_timeseries::metrics::nrmse;
+use eadrl_timeseries::window::SlideWindow;
 
 /// Normalizes a state window relative to its own mean and standard
 /// deviation, so the policy sees a level- and scale-free shape.
@@ -85,7 +86,7 @@ pub struct EnsembleEnv {
     reward: RewardKind,
     max_steps: usize,
     /// Unscaled window of ensemble outputs.
-    window: Vec<f64>,
+    window: SlideWindow,
     cursor: usize,
     steps_in_episode: usize,
 }
@@ -127,7 +128,7 @@ impl EnsembleEnv {
             m,
             reward,
             max_steps: max_steps.max(1),
-            window: Vec::new(),
+            window: SlideWindow::new(omega),
             cursor: 0,
             steps_in_episode: 0,
         }
@@ -191,7 +192,7 @@ impl Environment for EnsembleEnv {
 
     fn reset(&mut self) -> Vec<f64> {
         // Seed the window with actual values: the "perfect ensemble" past.
-        self.window = self.actuals[..self.omega].to_vec();
+        self.window.assign(&self.actuals[..self.omega]);
         self.cursor = self.omega;
         self.steps_in_episode = 0;
         self.scaled_window()
@@ -217,8 +218,7 @@ impl Environment for EnsembleEnv {
             }
         };
         // Deterministic transition: slide the ensemble-output window.
-        self.window.remove(0);
-        self.window.push(ensemble);
+        self.window.slide(ensemble);
         self.cursor += 1;
         self.steps_in_episode += 1;
         let done = self.cursor >= self.actuals.len() || self.steps_in_episode >= self.max_steps;
@@ -310,7 +310,7 @@ mod tests {
         env.reset();
         env.step(&[0.0, 1.0]); // ensemble = actual + 10 at t = 4 → 14
                                // Unscaled window is now [1, 2, 3, 14].
-        assert_eq!(env.window, vec![1.0, 2.0, 3.0, 14.0]);
+        assert_eq!(env.window.as_slice(), &[1.0, 2.0, 3.0, 14.0]);
     }
 
     #[test]

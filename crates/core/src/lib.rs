@@ -37,7 +37,7 @@ pub use experiment::{
 pub use guard::{
     guarded_call, renormalize_over_active, FaultClass, GuardConfig, GuardedSweep, PoolGuard,
 };
-pub use online::{AdaptiveEaDrl, RefreshTrigger};
+pub use online::{AdaptiveEaDrl, RefreshStrategy, RefreshTrigger};
 pub use parallel::{fit_pool, prediction_matrix};
 pub use persist::{PersistError, PolicySnapshot};
 pub use tuning::{tune, TuningGrid, TuningResult};

@@ -18,6 +18,7 @@ use crate::eadrl::{EaDrlConfig, EaDrlPolicy};
 use eadrl_obs::Level;
 use eadrl_timeseries::drift::PageHinkley;
 use eadrl_timeseries::sanitize::sanitize_series;
+use eadrl_timeseries::window::StepRing;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Maximum policy-learning attempts per online refresh (1 initial try +
@@ -47,6 +48,27 @@ pub enum RefreshTrigger {
     },
 }
 
+/// How a triggered refresh retrains the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RefreshStrategy {
+    /// Every refresh rebuilds a fresh [`EaDrlPolicy`] and replays the
+    /// full multi-restart offline training — the original (and default)
+    /// behaviour, byte-identical to earlier releases.
+    #[default]
+    Cold,
+    /// Seed retraining from the deployed policy (via its snapshot) and
+    /// run only `episodes` refinement episodes instead of the full
+    /// static-candidate/restart sweep — typically several times cheaper
+    /// per refresh. A retry after a caught panic falls back to a cold
+    /// start with the bumped seed, as does a refresh before any policy
+    /// is deployed or after the pool width changes.
+    WarmStart {
+        /// Refinement episodes per refresh (compare
+        /// [`EaDrlConfig::episodes`] for the cold path).
+        episodes: usize,
+    },
+}
+
 /// EA-DRL with online policy refresh.
 ///
 /// Usable anywhere a [`Combiner`] is expected; when no refresh ever
@@ -54,10 +76,15 @@ pub enum RefreshTrigger {
 pub struct AdaptiveEaDrl {
     config: EaDrlConfig,
     trigger: RefreshTrigger,
-    /// Sliding buffer of recent steps used as the refresh training data.
-    buffer_len: usize,
+    strategy: RefreshStrategy,
     policy: EaDrlPolicy,
-    history: Vec<(Vec<f64>, f64)>,
+    /// Sliding buffer of recent steps used as the refresh training data.
+    history: StepRing,
+    /// Reusable staging area for the refresh training matrix — the
+    /// history rows are copied into these buffers in place instead of
+    /// cloning a fresh matrix per refresh.
+    staged_preds: Vec<Vec<f64>>,
+    staged_actuals: Vec<f64>,
     detector: Option<PageHinkley>,
     steps_since_refresh: usize,
     refreshes: usize,
@@ -81,17 +108,39 @@ impl AdaptiveEaDrl {
             policy: EaDrlPolicy::new(config.clone()),
             config,
             trigger,
-            buffer_len: buffer_len.max(8),
-            history: Vec::new(),
+            strategy: RefreshStrategy::Cold,
+            history: StepRing::new(buffer_len.max(8)),
+            staged_preds: Vec::new(),
+            staged_actuals: Vec::new(),
             detector,
             steps_since_refresh: 0,
             refreshes: 0,
         }
     }
 
+    /// Selects how refreshes retrain (builder style); the default is
+    /// [`RefreshStrategy::Cold`].
+    pub fn with_strategy(mut self, strategy: RefreshStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured refresh strategy.
+    pub fn strategy(&self) -> RefreshStrategy {
+        self.strategy
+    }
+
     /// Number of online policy refreshes performed so far.
     pub fn refreshes(&self) -> usize {
         self.refreshes
+    }
+
+    /// Forces a policy refresh on the current buffer, outside any
+    /// trigger schedule — an operational hook (and the refresh-latency
+    /// benchmark's entry point). Subject to the same buffer-size checks,
+    /// panic recovery and strategy as a triggered refresh.
+    pub fn refresh_now(&mut self) {
+        self.refresh("manual");
     }
 
     /// The currently deployed policy.
@@ -100,10 +149,10 @@ impl AdaptiveEaDrl {
     }
 
     fn push_history(&mut self, preds: &[f64], actual: f64) {
-        self.history.push((preds.to_vec(), actual));
-        if self.history.len() > self.buffer_len {
-            self.history.remove(0);
-        }
+        // The ring reuses the evicted slot's row allocation, so a
+        // saturated buffer records steps without the old per-step
+        // `to_vec` + O(n) shift.
+        self.history.record(preds, actual);
     }
 
     fn refresh(&mut self, cause: &str) {
@@ -119,13 +168,26 @@ impl AdaptiveEaDrl {
             return; // Not enough recent data to rebuild the environment.
         }
         let _span = eadrl_obs::span("eadrl.online.refresh");
-        let mut preds: Vec<Vec<f64>> = self.history.iter().map(|(p, _)| p.clone()).collect();
-        let actuals: Vec<f64> = self.history.iter().map(|(_, a)| *a).collect();
+        // Stage the training matrix into the persistent buffers: row
+        // allocations from earlier refreshes are rewritten in place
+        // instead of cloning every history row again.
+        let mut preds = std::mem::take(&mut self.staged_preds);
+        let mut actuals = std::mem::take(&mut self.staged_actuals);
+        while preds.len() < self.history.len() {
+            preds.push(Vec::new());
+        }
+        preds.truncate(self.history.len());
+        actuals.clear();
+        for (row, (p, a)) in preds.iter_mut().zip(self.history.iter()) {
+            row.clear();
+            row.extend_from_slice(p);
+            actuals.push(*a);
+        }
         // A live buffer can carry non-finite entries (faulty members, gap
         // bursts); repair it before it reaches policy learning. A buffer
         // with no finite actual at all cannot train anything.
-        let actuals = match sanitize_series(&actuals) {
-            None => actuals,
+        match sanitize_series(&actuals) {
+            None => {}
             Some((fixed, stats)) => {
                 eadrl_obs::event(
                     "eadrl.sanitize",
@@ -146,37 +208,76 @@ impl AdaptiveEaDrl {
                             ("needed", (self.config.omega + 3).into()),
                         ],
                     );
+                    self.staged_preds = preds;
+                    self.staged_actuals = actuals;
                     return;
                 }
-                fixed
+                actuals.clear();
+                actuals.extend_from_slice(&fixed);
             }
-        };
+        }
         crate::experiment::sanitize_predictions(&mut preds, &actuals);
         // Bounded retry: attempt 0 runs with the configured seed (the
         // clean path is unchanged); each retry after a caught panic bumps
         // the DDPG seed deterministically so the re-training explores a
         // different trajectory instead of replaying the same failure.
+        // Under `RefreshStrategy::WarmStart` attempt 0 refines the
+        // deployed policy from its snapshot; any retry — and any refresh
+        // without a deployable snapshot — falls back to a cold start.
+        let strategy_name = match self.strategy {
+            RefreshStrategy::Cold => "cold",
+            RefreshStrategy::WarmStart { .. } => "warm_start",
+        };
         let mut deployed = false;
         let mut attempts = 0u64;
+        let mut cold_restart = false;
         for attempt in 0..REFRESH_ATTEMPTS {
             attempts = attempt + 1;
             let mut config = self.config.clone();
             config.ddpg.seed = config.ddpg.seed.wrapping_add(7919 * attempt);
-            let mut fresh = EaDrlPolicy::new(config);
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                fresh.warm_up(&preds, &actuals);
-            }));
+            let warm = match self.strategy {
+                RefreshStrategy::WarmStart { episodes } if attempt == 0 => {
+                    self.policy.snapshot().map(|snapshot| (snapshot, episodes))
+                }
+                _ => None,
+            };
+            let was_warm = warm.is_some();
+            let outcome = match warm {
+                Some((snapshot, episodes)) => catch_unwind(AssertUnwindSafe(|| {
+                    let mut next = EaDrlPolicy::restore(config, &snapshot);
+                    let trained = next.refine(&preds, &actuals, episodes);
+                    (next, trained)
+                })),
+                None => {
+                    if matches!(self.strategy, RefreshStrategy::WarmStart { .. }) {
+                        cold_restart = true;
+                    }
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut next = EaDrlPolicy::new(config);
+                        next.warm_up(&preds, &actuals);
+                        let trained = next.is_trained();
+                        (next, trained)
+                    }))
+                }
+            };
             match outcome {
-                Ok(()) => {
-                    if fresh.is_trained() {
-                        self.policy = fresh;
+                Ok((next, trained)) => {
+                    if trained {
+                        self.policy = next;
                         self.refreshes += 1;
                         deployed = true;
+                        break;
                     }
-                    // A completed warm_up that declined to train signals a
-                    // data-size problem, not a transient — retrying with a
-                    // new seed cannot help, so stop either way.
-                    break;
+                    // A warm start that completes but declines (e.g. the
+                    // pool width changed under the snapshot) is exactly
+                    // the case a cold restart handles — fall through to
+                    // the next attempt, which always goes cold. A cold
+                    // retraining that declines signals a data-size
+                    // problem, not a transient: retrying with a new seed
+                    // cannot help, so stop.
+                    if !was_warm {
+                        break;
+                    }
                 }
                 Err(_) => {
                     eadrl_obs::event(
@@ -200,8 +301,12 @@ impl AdaptiveEaDrl {
                 ("deployed", deployed.into()),
                 ("attempts", attempts.into()),
                 ("refreshes_total", self.refreshes.into()),
+                ("strategy", strategy_name.into()),
+                ("restart", cold_restart.into()),
             ],
         );
+        self.staged_preds = preds;
+        self.staged_actuals = actuals;
         self.steps_since_refresh = 0;
         if let Some(d) = self.detector.as_mut() {
             d.reset();
@@ -221,9 +326,9 @@ impl Combiner for AdaptiveEaDrl {
     fn warm_up(&mut self, preds: &[Vec<f64>], actuals: &[f64]) {
         self.policy.warm_up(preds, actuals);
         // Seed the refresh buffer with the tail of the warm-up stream.
-        let start = preds.len().saturating_sub(self.buffer_len);
+        let start = preds.len().saturating_sub(self.history.capacity());
         for (p, &a) in preds[start..].iter().zip(actuals[start..].iter()) {
-            self.history.push((p.clone(), a));
+            self.history.record(p, a);
         }
     }
 
@@ -233,8 +338,17 @@ impl Combiner for AdaptiveEaDrl {
 
     fn observe(&mut self, preds: &[f64], actual: f64) {
         // Error signal for the drift detector uses the current weighting.
-        let w = self.policy.weights(preds.len());
-        let forecast: f64 = w.iter().zip(preds.iter()).map(|(w, p)| w * p).sum();
+        // Only the drift trigger consumes it, so the other triggers skip
+        // the actor forward pass (and its weight-vector allocation)
+        // entirely. Computed before `policy.observe` advances the window,
+        // matching the order the serial implementation used.
+        let forecast = match self.trigger {
+            RefreshTrigger::DriftDetected { .. } => {
+                let w = self.policy.weights(preds.len());
+                Some(w.iter().zip(preds.iter()).map(|(w, p)| w * p).sum::<f64>())
+            }
+            _ => None,
+        };
         self.policy.observe(preds, actual);
         self.push_history(preds, actual);
         self.steps_since_refresh += 1;
@@ -245,6 +359,7 @@ impl Combiner for AdaptiveEaDrl {
                 (self.steps_since_refresh >= period.max(1)).then_some("periodic")
             }
             RefreshTrigger::DriftDetected { .. } => {
+                let forecast = forecast.unwrap_or(f64::NAN);
                 let fired = actual.is_finite()
                     && self
                         .detector
@@ -380,6 +495,67 @@ mod tests {
             0,
             "8-step buffer cannot retrain ω=6 policy"
         );
+    }
+
+    #[test]
+    fn warm_start_falls_back_to_cold_when_pool_width_changes() {
+        let (preds, actuals) = regime_stream(200, 500);
+        let (wp, op) = preds.split_at(100);
+        let (wa, oa) = actuals.split_at(100);
+        let warm_episodes = 4;
+        let mut adaptive = AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Never, 30)
+            .with_strategy(RefreshStrategy::WarmStart {
+                episodes: warm_episodes,
+            });
+        adaptive.warm_up(wp, wa);
+        // The pool shrinks under the deployed 3-model policy: saturate
+        // the refresh buffer with 2-model steps, then force a refresh.
+        for (p, &a) in op.iter().zip(oa.iter()) {
+            adaptive.observe(&p[..2], a);
+        }
+        adaptive.refresh_now();
+        assert_eq!(
+            adaptive.refreshes(),
+            1,
+            "refresh must deploy via the cold fallback"
+        );
+        // The deployed policy came out of a full cold warm_up (8
+        // episodes), not the 4-episode warm refinement the snapshot
+        // could no longer support.
+        assert_eq!(adaptive.policy().learning_curve().len(), 8);
+        let w = adaptive.weights(2);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn corrupted_buffer_quarantines_refresh_and_keeps_serving() {
+        let (preds, actuals) = regime_stream(160, 500);
+        let (wp, op) = preds.split_at(100);
+        let (wa, oa) = actuals.split_at(100);
+        let mut adaptive = AdaptiveEaDrl::new(quick_config(), RefreshTrigger::Never, 30)
+            .with_strategy(RefreshStrategy::WarmStart { episodes: 4 });
+        adaptive.warm_up(wp, wa);
+        // Ragged rows survive sanitization and panic inside the
+        // environment constructor — on the warm attempt and on every
+        // cold retry alike. The refresh must quarantine the failure
+        // (no deployment) without taking down serving.
+        for (i, (p, &a)) in op.iter().zip(oa.iter()).enumerate() {
+            if i % 3 == 0 {
+                adaptive.observe(&p[..2], a);
+            } else {
+                adaptive.observe(p, a);
+            }
+        }
+        adaptive.refresh_now();
+        assert_eq!(
+            adaptive.refreshes(),
+            0,
+            "a corrupted buffer must never deploy a policy"
+        );
+        let w = adaptive.weights(3);
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!((adaptive.combine(&[1.0, 2.0, 3.0])).is_finite());
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! emits a machine-readable summary line per scenario.
 
 use eadrl_sim::{
-    run_refresh_scenario, run_scenario, run_unhardened, standard_scenarios, FaultPlan, Scenario,
-    ScenarioOutcome,
+    run_refresh_scenario, run_scenario, run_unhardened, run_warm_refresh_scenario,
+    standard_scenarios, FaultPlan, Scenario, ScenarioOutcome,
 };
 use std::process::ExitCode;
 
@@ -140,6 +140,18 @@ fn main() -> ExitCode {
         );
         refresh.series_len = 300;
         let outcome = run_refresh_scenario(&refresh);
+        failed |= !outcome.report.passed();
+        summarize(&outcome, opts.json);
+        // … as does the warm-start refresh phase with faults landing
+        // mid-refresh (ragged buffer rows → quarantined attempts →
+        // cold fallback → eventual clean deploy).
+        let mut warm_refresh = Scenario::new(
+            "warm-start-refresh",
+            FaultPlan::parse("seed 6\ngap 50 3\n").expect("static plan parses"),
+            505,
+        );
+        warm_refresh.series_len = 360;
+        let outcome = run_warm_refresh_scenario(&warm_refresh);
         failed |= !outcome.report.passed();
         summarize(&outcome, opts.json);
     }

@@ -37,6 +37,6 @@ pub use fault::{FaultKind, FaultPlan, GapBurst, ModelFault, NonFinite, PlanParse
 pub use invariants::{check_run, InvariantReport};
 pub use proxy::{quiet_injected_panics, FaultyForecaster, INJECTED_PANIC_PREFIX};
 pub use scenario::{
-    run_refresh_scenario, run_scenario, run_unhardened, standard_scenarios, Scenario,
-    ScenarioOutcome,
+    run_refresh_scenario, run_scenario, run_unhardened, run_warm_refresh_scenario,
+    standard_scenarios, Scenario, ScenarioOutcome,
 };

@@ -39,7 +39,13 @@ pub fn quiet_injected_panics() {
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| info.payload().downcast_ref::<&str>().copied());
-            if message.is_some_and(|m| m.contains(INJECTED_PANIC_PREFIX)) {
+            // The warm-refresh scenario corrupts the refresh buffer with
+            // ragged rows, so the environment constructor's assert is an
+            // injected-and-expected panic there too (always caught by
+            // the refresh path's `catch_unwind`).
+            if message.is_some_and(|m| {
+                m.contains(INJECTED_PANIC_PREFIX) || m.contains("ragged prediction matrix")
+            }) {
                 return;
             }
             previous(info);

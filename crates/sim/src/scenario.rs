@@ -22,7 +22,7 @@
 use crate::fault::FaultPlan;
 use crate::invariants::{check_run, InvariantReport};
 use crate::proxy::{quiet_injected_panics, FaultyForecaster};
-use eadrl_core::online::{AdaptiveEaDrl, RefreshTrigger};
+use eadrl_core::online::{AdaptiveEaDrl, RefreshStrategy, RefreshTrigger};
 use eadrl_core::{Combiner, EaDrl, EaDrlConfig};
 use eadrl_datasets::{generate, DatasetId};
 use eadrl_models::{quick_pool, Forecaster};
@@ -321,6 +321,117 @@ pub fn run_refresh_scenario(scenario: &Scenario) -> ScenarioOutcome {
     }
 }
 
+/// Runs the warm-start online-refresh phase with a fault landing in the
+/// middle of the refresh pipeline itself: a periodic [`RefreshStrategy::
+/// WarmStart`] schedule meets a member outage that leaves ragged rows in
+/// the refresh buffer. Every retraining attempt over the corrupted
+/// window — the warm refinement and its cold fallbacks alike — panics
+/// inside the environment constructor. The audit requires the serving
+/// loop to quarantine those failures (panics caught, `eadrl.degraded`
+/// emitted, nothing deployed), to keep forecasting finitely throughout,
+/// to record the cold fallback in the `eadrl.online.refresh` telemetry,
+/// and to deploy again on the first refresh over a clean buffer.
+pub fn run_warm_refresh_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let _guard = SCENARIO_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    quiet_injected_panics();
+    let sink = capture_telemetry();
+
+    let series = generate(DatasetId::TaxiDemand2, scenario.series_len, scenario.seed);
+    let values = series.values();
+    let m = 3usize;
+    let flip = values.len() / 2;
+    let preds: Vec<Vec<f64>> = values
+        .iter()
+        .enumerate()
+        .map(|(t, &a)| {
+            let wobble = ((t * 7) % 13) as f64 / 13.0 - 0.5;
+            if t < flip {
+                vec![a + 0.1 * wobble, a + 2.5 + wobble, a - 7.0]
+            } else {
+                vec![a + 2.5 - wobble, a + 0.1 * wobble, a - 7.0]
+            }
+        })
+        .collect();
+    let warm = values.len() / 3;
+
+    let mut config = scenario_config(scenario);
+    config.omega = 6;
+    let buffer = 60;
+    let mut adaptive = AdaptiveEaDrl::new(config, RefreshTrigger::Periodic { period: 40 }, buffer)
+        .with_strategy(RefreshStrategy::WarmStart { episodes: 4 });
+    adaptive.warm_up(&preds[..warm], &values[..warm]);
+
+    // The mid-refresh fault: member 2 drops out for ten steps, so the
+    // buffer carries truncated (ragged) rows for the next `buffer`
+    // steps. The periodic refreshes at steps 39 and 79 both see the
+    // corruption; the one at step 119 trains on a clean window again.
+    let outage = 35..45;
+    let mut forecasts = Vec::new();
+    for (step, (p, &a)) in preds[warm..].iter().zip(values[warm..].iter()).enumerate() {
+        let w = adaptive.weights(m);
+        forecasts.push(w.iter().zip(p.iter()).map(|(wi, pi)| wi * pi).sum());
+        let observed = if scenario.plan.gapped(step) {
+            f64::NAN
+        } else {
+            a
+        };
+        if outage.contains(&step) {
+            adaptive.observe(&p[..2], observed);
+        } else {
+            adaptive.observe(p, observed);
+        }
+    }
+
+    let events = sink.events();
+    let mut report = check_run(&forecasts, &events);
+    let refresh_degraded = events
+        .iter()
+        .filter(|e| {
+            e.name == "eadrl.degraded"
+                && e.fields.iter().any(|(k, v)| {
+                    k == "context" && matches!(v, eadrl_obs::Value::Str(s) if s == "refresh")
+                })
+        })
+        .count();
+    if refresh_degraded == 0 {
+        report
+            .violations
+            .push("ragged buffer rows never surfaced as quarantined refresh attempts".to_string());
+    }
+    let cold_fallbacks = events
+        .iter()
+        .filter(|e| {
+            e.name == "eadrl.online.refresh"
+                && e.fields
+                    .iter()
+                    .any(|(k, v)| k == "restart" && matches!(v, eadrl_obs::Value::Bool(true)))
+        })
+        .count();
+    if cold_fallbacks == 0 {
+        report
+            .violations
+            .push("warm-start refresh never recorded a cold fallback in telemetry".to_string());
+    }
+    if adaptive.refreshes() == 0 {
+        report
+            .violations
+            .push("no refresh deployed after the corrupted rows left the buffer".to_string());
+    }
+    ScenarioOutcome {
+        name: scenario.name.clone(),
+        forecast_bits: forecasts.iter().map(|f| f.to_bits()).collect(),
+        forecasts,
+        quarantine_enters: count_quarantine(&events, "enter"),
+        quarantine_exits: count_quarantine(&events, "exit"),
+        degraded_events: count_named(&events, "eadrl.degraded"),
+        sanitize_events: count_named(&events, "eadrl.sanitize"),
+        report,
+        events,
+    }
+}
+
 /// Drives the scenario's faults through a deliberately naive serving
 /// loop — no guard, no sanitization, no quarantine — and audits the same
 /// invariants. This is the regression fixture proving the fault plans
@@ -495,5 +606,32 @@ mod tests {
         let outcome = run_refresh_scenario(&scenario);
         assert!(outcome.report.passed(), "{:?}", outcome.report.violations);
         assert!(outcome.forecasts.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn warm_refresh_scenario_quarantines_mid_refresh_faults() {
+        let mut scenario = tiny("warm-refresh", "seed 6\ngap 50 3\n", 15);
+        scenario.series_len = 360;
+        let outcome = run_warm_refresh_scenario(&scenario);
+        assert!(outcome.report.passed(), "{:?}", outcome.report.violations);
+        assert!(outcome.forecasts.iter().all(|f| f.is_finite()));
+        // The corrupted-buffer refreshes must have been caught (warm
+        // attempt + cold retries each emit a degraded event) without
+        // taking down the stream.
+        assert!(
+            outcome.degraded_events >= 3,
+            "expected quarantined refresh attempts, saw {}",
+            outcome.degraded_events
+        );
+    }
+
+    #[test]
+    fn warm_refresh_scenario_is_bitwise_reproducible() {
+        let mut scenario = tiny("warm-repro", "seed 6\ngap 50 3\n", 15);
+        scenario.series_len = 360;
+        let a = run_warm_refresh_scenario(&scenario);
+        let b = run_warm_refresh_scenario(&scenario);
+        assert_eq!(a.forecast_bits, b.forecast_bits);
+        assert_eq!(a.telemetry_fingerprint(), b.telemetry_fingerprint());
     }
 }

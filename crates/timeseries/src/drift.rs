@@ -5,6 +5,8 @@
 //! detected in the stream of model errors. These detectors provide that
 //! informed-update mechanism.
 
+use crate::window::SlideWindow;
+
 /// Page–Hinkley test for detecting increases in the mean of a stream.
 ///
 /// Classic formulation: maintain the cumulative deviation of observations
@@ -81,8 +83,7 @@ impl PageHinkley {
 /// On detection the older half is dropped, so the window adapts.
 #[derive(Debug, Clone)]
 pub struct AdaptiveWindowDetector {
-    window: Vec<f64>,
-    max_len: usize,
+    window: SlideWindow,
     confidence: f64,
 }
 
@@ -92,8 +93,7 @@ impl AdaptiveWindowDetector {
     /// denominator; typical value 0.002 as in ADWIN).
     pub fn new(max_len: usize, confidence: f64) -> Self {
         AdaptiveWindowDetector {
-            window: Vec::new(),
-            max_len: max_len.max(4),
+            window: SlideWindow::new(max_len.max(4)),
             confidence: confidence.clamp(1e-6, 0.999),
         }
     }
@@ -107,17 +107,14 @@ impl AdaptiveWindowDetector {
         if !value.is_finite() {
             return false;
         }
-        self.window.push(value);
-        if self.window.len() > self.max_len {
-            self.window.remove(0);
-        }
+        self.window.slide(value);
         let n = self.window.len();
         if n < 8 {
             return false;
         }
         // Range of the window normalizes the Hoeffding bound.
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for &v in &self.window {
+        for &v in self.window.iter() {
             lo = lo.min(v);
             hi = hi.max(v);
         }
@@ -138,7 +135,7 @@ impl AdaptiveWindowDetector {
             let eps = range * ((1.0 / (2.0 * m)) * (4.0 * n as f64 / self.confidence).ln()).sqrt();
             if (mean0 - mean1).abs() > eps {
                 // Drop the stale half and signal.
-                self.window.drain(..split);
+                self.window.advance(split);
                 return true;
             }
         }

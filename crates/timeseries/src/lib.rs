@@ -11,7 +11,10 @@
 //! * [`drift`] — Page–Hinkley and adaptive-window drift detectors (used by
 //!   the DEMSC baseline's informed update mechanism),
 //! * [`sanitize`] — non-finite/gap repair for serving-path input
-//!   histories (forward-fill policy, documented in the module).
+//!   histories (forward-fill policy, documented in the module),
+//! * [`window`] — fixed-capacity sliding windows (`SlideWindow`,
+//!   `StepRing`) backing every serving-loop ring buffer with amortized
+//!   O(1), allocation-free slides.
 
 pub mod decompose;
 pub mod drift;
@@ -22,6 +25,7 @@ pub mod sanitize;
 pub mod series;
 pub mod stats;
 pub mod transform;
+pub mod window;
 
 pub use decompose::{decompose_additive, Decomposition};
 pub use drift::{AdaptiveWindowDetector, PageHinkley};
@@ -31,3 +35,4 @@ pub use metrics::{mae, mape, mse, nrmse, r2, rmse, smape};
 pub use sanitize::{sanitize_series, SanitizeStats};
 pub use series::{Frequency, TimeSeries};
 pub use transform::{difference, undifference, MinMaxScaler, Scaler, ZScoreScaler};
+pub use window::{SlideWindow, StepRing};
